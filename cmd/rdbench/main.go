@@ -1,0 +1,77 @@
+// Command rdbench regenerates every table and figure from the
+// paper's evaluation (§6), printing paper-reported values next to the
+// values measured on this reproduction's simulator.
+//
+// Usage:
+//
+//	rdbench             # run every experiment
+//	rdbench -exp fig5   # run one (table2 table3 table4 table5 fig3
+//	                    #   switch admission grantset preempt fig4
+//	                    #   table6 fig5 baselines clock)
+//	rdbench -list       # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// experiment is one reproducible artifact from the paper.
+type experiment struct {
+	name  string
+	title string
+	run   func()
+}
+
+var experiments = []experiment{
+	{"table2", "Table 2: MPEG resource list", expTable2},
+	{"table3", "Table 3: 3D graphics resource list", expTable3},
+	{"table4", "Table 4: grant set for modem + 3D + MPEG", expTable4},
+	{"table5", "Table 5: example Policy Box", expTable5},
+	{"fig3", "Figure 3: EDF schedule of the Table 4 grant set", expFig3},
+	{"switch", "§6.1: context-switch costs", expSwitch},
+	{"admission", "§6.2: admissions control cost", expAdmission},
+	{"grantset", "§6.3: grant-set determination cost", expGrantSet},
+	{"preempt", "§6.4: managed preemption cost", expPreempt},
+	{"fig4", "Figure 4 / §6.5: four periodic threads + Sporadic Server", expFig4},
+	{"table6", "Table 6: resource list for threads 2-6", expTable6},
+	{"fig5", "Figure 5 / §6.5: overload staircase", expFig5},
+	{"baselines", "§3.4/3.5: RD vs fair-share vs capacity reserves", expBaselines},
+	{"clock", "§5.4: external-clock skew compensation", expClock},
+}
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment by name")
+	list := flag.Bool("list", false, "list experiment names")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-10s %s\n", e.name, e.title)
+		}
+		return
+	}
+	if *exp != "" {
+		for _, e := range experiments {
+			if e.name == *exp {
+				banner(e.title)
+				e.run()
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "rdbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	for _, e := range experiments {
+		banner(e.title)
+		e.run()
+		fmt.Println()
+	}
+}
+
+func banner(title string) {
+	line := strings.Repeat("=", len(title)+4)
+	fmt.Printf("%s\n| %s |\n%s\n", line, title, line)
+}

@@ -1,0 +1,251 @@
+// Command rdsim runs a named Resource Distributor scenario in the
+// virtual-time simulator and prints the grant set, schedule timeline,
+// per-task accounting, and application quality.
+//
+// Usage:
+//
+//	rdsim -scenario settop -horizon 2s -gantt 100ms
+//	rdsim -list
+//
+// Scenarios: settop (Table 4 / Figure 3), fig4, fig5, quiescent
+// (§5.3), avsync (§5.4 phase lock).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/extclock"
+	"repro/internal/task"
+	"repro/internal/ticks"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+const ms = ticks.PerMillisecond
+
+type scenario struct {
+	name  string
+	desc  string
+	setup func(d *core.Distributor) (quality func())
+	// reserve is the interrupt reserve percentage for the run.
+	reserve int64
+}
+
+var scenarios = []scenario{
+	{name: "settop", desc: "modem + 3D + MPEG (Table 4, Figure 3)", setup: setupSettop},
+	{name: "fig4", desc: "four periodic threads + Sporadic Server (Figure 4)", setup: setupFig4},
+	{name: "fig5", desc: "overload staircase (Table 6, Figure 5)", setup: setupFig5, reserve: 4},
+	{name: "quiescent", desc: "DVD + audio + telephone-answering modem (§5.3)", setup: setupQuiescent},
+	{name: "avsync", desc: "display phase-locked to a drifting clock (§5.4)", setup: setupAVSync},
+}
+
+func main() {
+	name := flag.String("scenario", "settop", "scenario to run")
+	list := flag.Bool("list", false, "list scenarios")
+	horizon := flag.Duration("horizon", 2*time.Second, "simulated run length")
+	ganttWin := flag.Duration("gantt", 100*time.Millisecond, "timeline window rendered from t=0")
+	cols := flag.Int("cols", 100, "timeline width in characters")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	jsonOut := flag.String("json", "", "write the full trace as JSON to this file ('-' for stdout)")
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenarios {
+			fmt.Printf("%-10s %s\n", s.name, s.desc)
+		}
+		return
+	}
+	var sc *scenario
+	for i := range scenarios {
+		if scenarios[i].name == *name {
+			sc = &scenarios[i]
+		}
+	}
+	if sc == nil {
+		fmt.Fprintf(os.Stderr, "rdsim: unknown scenario %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+
+	rec := trace.New()
+	d := core.New(core.Config{
+		Seed:                    *seed,
+		InterruptReservePercent: sc.reserve,
+		Observer:                rec,
+	})
+	quality := sc.setup(d)
+	d.Run(ticks.FromDuration(*horizon))
+
+	fmt.Printf("scenario %q after %v simulated:\n\n", sc.name, *horizon)
+	fmt.Println("grant set:")
+	gs := d.Grants()
+	for _, id := range gs.IDs() {
+		fmt.Printf("  %v\n", gs[id])
+	}
+	fmt.Printf("  total %.1f%% of CPU\n\n", 100*gs.TotalFrac().Float())
+
+	fmt.Printf("timeline, first %v:\n", *ganttWin)
+	fmt.Println(rec.Gantt(0, ticks.FromDuration(*ganttWin), *cols))
+
+	fmt.Println("per-task accounting:")
+	for _, id := range rec.TaskIDs() {
+		st, ok := d.Stats(id)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-10s periods=%-5d misses=%-3d granted=%-10v used=%-10v overtime=%v\n",
+			rec.NameOf(id), st.Periods, st.Misses, st.GrantedTicks, st.UsedTicks, st.OvertimeTicks)
+	}
+
+	ks := d.KernelStats()
+	fmt.Printf("\nkernel: %d voluntary + %d involuntary switches (%.2f%% of CPU), idle %v\n",
+		ks.VolSwitches, ks.InvolSwitches, 100*ks.SwitchOverheadFraction(), ks.IdleTicks)
+	fmt.Printf("deadline misses: %d\n", rec.MissCount())
+
+	if quality != nil {
+		fmt.Println("\napplication quality:")
+		quality()
+	}
+
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rec.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("\ntrace written to %s\n", *jsonOut)
+		}
+	}
+}
+
+func setupSettop(d *core.Distributor) func() {
+	modem := workload.NewModem()
+	g3d := workload.NewGraphics3D(42)
+	mpeg := workload.NewMPEG()
+	must(d.RequestAdmittance(modem.Task(false)))
+	must(d.RequestAdmittance(g3d.Task()))
+	must(d.RequestAdmittance(mpeg.Task()))
+	return func() {
+		mpeg.Flush()
+		fmt.Printf("  modem: %s\n", modem.Stats().QualityString())
+		fmt.Printf("  3d:    %s\n", g3d.Stats().QualityString())
+		fmt.Printf("  mpeg:  %s\n", mpeg.Stats().QualityString())
+	}
+}
+
+func setupFig4(d *core.Distributor) func() {
+	period := ticks.PerSecond / 30
+	yieldAll := task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+		return task.RunResult{Used: ctx.Span, Op: task.OpYield, Completed: true}
+	})
+	mustSS(d.AddSporadicServer("sporadic", task.SingleLevel(2_700_000, 27_000, "SS"), true))
+	must(d.RequestAdmittance(&task.Task{Name: "producer7", List: task.SingleLevel(period, 13*ms, "P"), Body: task.Busy()}))
+	must(d.RequestAdmittance(&task.Task{Name: "data8", List: task.SingleLevel(period, 2*ms, "D"), Body: yieldAll}))
+	must(d.RequestAdmittance(&task.Task{Name: "producer9", List: task.SingleLevel(period, 3*ms, "P"), Body: task.PeriodicWork(3 * ms)}))
+	must(d.RequestAdmittance(&task.Task{Name: "data10", List: task.SingleLevel(period, 3*ms, "D"), Body: yieldAll}))
+	return nil
+}
+
+func setupFig5(d *core.Distributor) func() {
+	mustSS(d.AddSporadicServer("sporadic", task.SingleLevel(2_700_000, 27_000, "SS"), true))
+	for i := 0; i < 5; i++ {
+		i := i
+		d.At(ticks.Ticks(i)*20*ms, func() {
+			must(d.RequestAdmittance(workload.BusyLoopTask(fmt.Sprintf("thread%d", i+2))))
+		})
+	}
+	return nil
+}
+
+func setupQuiescent(d *core.Distributor) func() {
+	ac3 := workload.NewAC3()
+	modem := workload.NewModem()
+	must(d.RequestAdmittance(&task.Task{
+		Name: "dvd",
+		List: task.UniformLevels(10*ms, "DecodeDVD", 85, 70, 55, 40),
+		Body: task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+			return task.RunResult{Used: ctx.Span, Op: task.OpYield, Completed: true}
+		}),
+	}))
+	must(d.RequestAdmittance(ac3.Task()))
+	modemID, err := d.RequestAdmittance(modem.Task(true))
+	if err != nil {
+		fatal(err)
+	}
+	d.At(500*ms, func() {
+		if err := d.Wake(modemID); err != nil {
+			fatal(err)
+		}
+	})
+	return func() {
+		ac3.Flush()
+		fmt.Printf("  ac3:   %s\n", ac3.Stats().QualityString())
+		fmt.Printf("  modem: %s\n", modem.Stats().QualityString())
+	}
+}
+
+func setupAVSync(d *core.Distributor) func() {
+	ext := extclock.New(120, 0)
+	pl, err := extclock.NewPhaseLock(ext, 270_000, 269_500)
+	if err != nil {
+		fatal(err)
+	}
+	var id task.ID
+	var maxErr ticks.Ticks
+	periods := 0
+	body := task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+		if ctx.NewPeriod {
+			periods++
+			if e := pl.PhaseErrorAt(ctx.PeriodStart); e > maxErr && periods > 1 {
+				maxErr = e
+			}
+			_ = d.InsertIdleCycles(id, pl.Insertion(ctx.PeriodStart))
+		}
+		left := 2*ms - ctx.UsedThisPeriod
+		if left <= 0 {
+			return task.RunResult{Op: task.OpYield, Completed: true}
+		}
+		if left > ctx.Span {
+			left = ctx.Span
+		}
+		return task.RunResult{Used: left, Op: task.OpYield, Completed: true}
+	})
+	id, err = d.RequestAdmittance(&task.Task{
+		Name: "display", List: task.SingleLevel(269_500, 2*ms, "Refresh"), Body: body,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	must(d.RequestAdmittance(&task.Task{
+		Name: "worker", List: task.SingleLevel(10*ms, 3*ms, "W"), Body: task.PeriodicWork(3 * ms),
+	}))
+	return func() {
+		fmt.Printf("  display: %d periods, max phase error %.1fus against the drifting clock\n",
+			periods, maxErr.MicrosecondsF())
+	}
+}
+
+func must(id task.ID, err error) task.ID {
+	if err != nil {
+		fatal(err)
+	}
+	return id
+}
+
+func mustSS(id task.ID, err error) task.ID { return must(id, err) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rdsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Command rdtrace analyses a trace exported by rdsim -json: per-task
+// CPU delivery, preemption counts, worst-case completion latency
+// (checked against the §4.2 bound when grants are known), and the
+// miss audit — without re-running the simulation.
+//
+//	rdsim -scenario settop -json trace.json
+//	rdtrace trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: rdtrace <trace.json | ->")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	var e trace.Export
+	if err := json.NewDecoder(in).Decode(&e); err != nil {
+		fmt.Fprintln(os.Stderr, "rdtrace: invalid trace:", err)
+		os.Exit(1)
+	}
+	fmt.Print(trace.Analyze(e).String())
+	fmt.Printf("\nswitches: %d voluntary, %d involuntary, %d ticks total\n",
+		e.Summary.VolSwitches, e.Summary.InvolSwitches, e.Summary.SwitchTicks)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestSnapshotReflectsSystemState(t *testing.T) {
+	d := New(Config{SwitchCosts: zeroCosts(), InterruptReservePercent: 4})
+	a, err := d.RequestAdmittance(&task.Task{
+		Name: "worker", List: task.SingleLevel(10*ms, 3*ms, "W"), Body: task.PeriodicWork(3 * ms),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := d.RequestAdmittance(&task.Task{
+		Name: "parked", List: task.SingleLevel(10*ms, 2*ms, "P"),
+		Body: task.PeriodicWork(2 * ms), StartQuiescent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(100 * ms)
+
+	s := d.Snapshot()
+	if s.Now != 100*ms {
+		t.Errorf("Now = %v", s.Now)
+	}
+	if s.Reserve < 0.039 || s.Reserve > 0.041 {
+		t.Errorf("reserve = %v, want 0.04", s.Reserve)
+	}
+	byID := map[task.ID]TaskSnapshot{}
+	for _, ts := range s.Tasks {
+		byID[ts.ID] = ts
+	}
+	w, ok := byID[a]
+	if !ok {
+		t.Fatal("worker missing from snapshot")
+	}
+	if w.Name != "worker" || w.State != task.Runnable || !w.HasGrant {
+		t.Errorf("worker snapshot = %+v", w)
+	}
+	if w.Periods != 10 || w.UsedTicks != 30*ms {
+		t.Errorf("worker accounting = %+v", w)
+	}
+	p, ok := byID[q]
+	if !ok {
+		t.Fatal("quiescent task missing from snapshot (it is admitted)")
+	}
+	if p.State != task.Quiescent {
+		t.Errorf("parked state = %v", p.State)
+	}
+	if s.Misses != 0 {
+		t.Errorf("misses = %d", s.Misses)
+	}
+	out := s.String()
+	for _, want := range []string{"worker", "parked", "quiescent", "granted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot string missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotEmptySystem(t *testing.T) {
+	d := New(Config{SwitchCosts: zeroCosts()})
+	d.Run(10 * ms)
+	s := d.Snapshot()
+	if len(s.Tasks) != 0 || s.TotalRate != 0 {
+		t.Errorf("empty system snapshot = %+v", s)
+	}
+	if s.IdleFraction < 0.99 {
+		t.Errorf("idle = %v, want ~1", s.IdleFraction)
+	}
+}

@@ -1,0 +1,125 @@
+package extclock
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+func TestEstimatorConvergesOnConstantDrift(t *testing.T) {
+	c := New(200, 0)
+	l, err := NewEstimatingPhaseLock(270_000, 269_500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sys ticks.Ticks
+	for i := 0; i < 10; i++ {
+		l.Observe(sys, c.ReadAt(sys))
+		sys += 270_000
+	}
+	if got := l.Rate(); math.Abs(got-200) > 5 {
+		t.Errorf("estimated rate = %.1f ppm, want ~200", got)
+	}
+}
+
+func TestEstimatorTracksDriftChange(t *testing.T) {
+	c := NewVariable(0,
+		Segment{UntilSys: 10 * ticks.PerSecond, DriftPPM: 100},
+		Segment{UntilSys: Forever, DriftPPM: -100},
+	)
+	l, _ := NewEstimatingPhaseLock(270_000, 269_500, 0.5)
+	var sys ticks.Ticks
+	for sys < 20*ticks.PerSecond {
+		l.Observe(sys, c.ReadAt(sys))
+		sys += 270_000
+	}
+	// After 10s in the -100ppm regime the EMA must have followed.
+	if got := l.Rate(); math.Abs(got+100) > 10 {
+		t.Errorf("estimate after drift flip = %.1f ppm, want ~-100", got)
+	}
+}
+
+func TestEstimatingLockValidation(t *testing.T) {
+	if _, err := NewEstimatingPhaseLock(0, 100, 0.5); err == nil {
+		t.Error("zero ext period accepted")
+	}
+	if _, err := NewEstimatingPhaseLock(100, 0, 0.5); err == nil {
+		t.Error("zero nominal accepted")
+	}
+	// Out-of-range smoothing falls back to the default.
+	l, err := NewEstimatingPhaseLock(100, 50, 7)
+	if err != nil || l.alpha != 0.5 {
+		t.Errorf("smoothing fallback: alpha=%v err=%v", l.alpha, err)
+	}
+}
+
+// TestEstimatingLockEndToEnd runs the full Distributor with a display
+// task that only ever sees clock *readings* — the realistic §5.4
+// application — and still keeps phase error bounded by a few reading
+// intervals' worth of estimation error.
+func TestEstimatingLockEndToEnd(t *testing.T) {
+	drift := 150.0
+	ext := New(drift, 0)
+	extPeriod := ticks.Ticks(270_000)
+	nominal := ticks.Ticks(269_000)
+
+	// The oracle lock, used ONLY to measure the resulting phase
+	// error; the task itself never touches it for control.
+	oracle, _ := NewPhaseLock(ext, extPeriod, nominal)
+
+	zero := sim.ZeroSwitchCosts()
+	d := core.New(core.Config{SwitchCosts: &zero})
+	lock, err := NewEstimatingPhaseLock(extPeriod, nominal, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id task.ID
+	var maxErr ticks.Ticks
+	periods := 0
+	body := task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+		if ctx.NewPeriod {
+			periods++
+			// Converged after a few periods: start measuring then.
+			if periods > 5 {
+				if e := oracle.PhaseErrorAt(ctx.PeriodStart); e > maxErr {
+					maxErr = e
+				}
+			}
+			// The app reads both clocks NOW (dispatch time) — all it
+			// can actually do — and schedules the stretch.
+			lock.Observe(ctx.Now, ext.ReadAt(ctx.Now))
+			ins := lock.Insertion(ctx.PeriodStart, ctx.Now, ext.ReadAt(ctx.Now))
+			_ = d.InsertIdleCycles(id, ins)
+		}
+		left := 2*ticks.PerMillisecond - ctx.UsedThisPeriod
+		if left <= 0 {
+			return task.RunResult{Op: task.OpYield, Completed: true}
+		}
+		if left > ctx.Span {
+			left = ctx.Span
+		}
+		return task.RunResult{Used: left, Op: task.OpYield, Completed: true}
+	})
+	id, err = d.RequestAdmittance(&task.Task{
+		Name: "display", List: task.SingleLevel(nominal, 2*ticks.PerMillisecond, "R"), Body: body,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(10 * ticks.PerSecond)
+
+	if periods < 900 {
+		t.Fatalf("only %d periods", periods)
+	}
+	// Uncompensated drift would be ~40ms over 10s. The estimator
+	// holds every period start within ~1000 ticks (~37us) of a
+	// boundary: rounding plus residual estimation error.
+	if maxErr > 1000 {
+		t.Errorf("max phase error = %v ticks (%.1fus), want <= 1000",
+			maxErr, maxErr.MicrosecondsF())
+	}
+}

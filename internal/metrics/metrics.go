@@ -1,0 +1,190 @@
+// Package metrics provides the small statistical summaries the
+// paper's evaluation reports: minimum / median / mean (§6.1 presents
+// context-switch costs exactly this way), histograms, and windowed
+// counters used by the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates float64 samples and reports order statistics.
+// The zero value is ready to use.
+type Summary struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (s *Summary) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// N reports the sample count.
+func (s *Summary) N() int { return len(s.samples) }
+
+// Sum reports the sample total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// Median reports the 50th percentile.
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+// Percentile reports the p-th percentile (0-100) by the
+// nearest-rank method, or 0 with no samples.
+func (s *Summary) Percentile(p float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[n-1]
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.samples[rank]
+}
+
+// Stddev reports the population standard deviation.
+func (s *Summary) Stddev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// String renders min/median/mean the way §6.1 reports them.
+func (s *Summary) String() string {
+	return fmt.Sprintf("min %.1f, median %.1f, mean %.1f (n=%d)",
+		s.Min(), s.Median(), s.Mean(), s.N())
+}
+
+// Histogram buckets samples into fixed-width bins for quick
+// distribution sketches in experiment output.
+type Histogram struct {
+	Lo, Width float64
+	Counts    []int64
+	under     int64
+	over      int64
+	n         int64
+}
+
+// NewHistogram builds a histogram over [lo, lo+width*bins).
+func NewHistogram(lo, width float64, bins int) *Histogram {
+	if width <= 0 || bins <= 0 {
+		panic("metrics: histogram needs positive width and bins")
+	}
+	return &Histogram{Lo: lo, Width: width, Counts: make([]int64, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	idx := int(math.Floor((v - h.Lo) / h.Width))
+	switch {
+	case idx < 0:
+		h.under++
+	case idx >= len(h.Counts):
+		h.over++
+	default:
+		h.Counts[idx]++
+	}
+}
+
+// N reports total samples.
+func (h *Histogram) N() int64 { return h.n }
+
+// Render draws an ASCII histogram with bars scaled to width chars.
+func (h *Histogram) Render(width int) string {
+	var max int64 = 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*h.Width
+		bar := int(int64(width) * c / max)
+		fmt.Fprintf(&b, "%8.1f-%8.1f |%-*s| %d\n", lo, lo+h.Width, width, strings.Repeat("#", bar), c)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "   under: %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "    over: %d\n", h.over)
+	}
+	return b.String()
+}
+
+// Counter is a simple named tally used by experiment harnesses.
+type Counter struct {
+	name string
+	n    int64
+}
+
+// NewCounter returns a named counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n.
+func (c *Counter) Addn(n int64) { c.n += n }
+
+// Value reports the tally.
+func (c *Counter) Value() int64 { return c.n }
+
+// String renders "name=value".
+func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.name, c.n) }

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Sum() != 15 {
+		t.Errorf("N=%d Sum=%v, want 5/15", s.N(), s.Sum())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean())
+	}
+	if s.Median() != 3 {
+		t.Errorf("median = %v, want 3", s.Median())
+	}
+}
+
+func TestSummaryAddAfterRead(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	_ = s.Min() // forces sort
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Error("Add after Min() broke ordering")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{0: 1, 25: 25, 50: 50, 99: 99, 100: 100}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(11.5)
+	s.Add(18.3)
+	s.Add(32.3)
+	str := s.String()
+	if !strings.Contains(str, "min 11.5") || !strings.Contains(str, "n=3") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func TestMedianLEMeanForRightSkew(t *testing.T) {
+	// Property: for non-negative samples, min <= median <= max and
+	// min <= mean <= max.
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range vals {
+			s.Add(float64(v))
+		}
+		return s.Min() <= s.Median() && s.Median() <= s.Max() &&
+			s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5) // [0,50)
+	for _, v := range []float64{-1, 0, 5, 15, 49, 50, 100} {
+		h.Add(v)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d, want 7", h.N())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.under, h.over)
+	}
+	r := h.Render(20)
+	if !strings.Contains(r, "#") || !strings.Contains(r, "under: 1") {
+		t.Errorf("Render:\n%s", r)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(0,0,0) did not panic")
+		}
+	}()
+	NewHistogram(0, 0, 0)
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("misses")
+	c.Inc()
+	c.Addn(4)
+	if c.Value() != 5 {
+		t.Errorf("value = %d, want 5", c.Value())
+	}
+	if c.String() != "misses=5" {
+		t.Errorf("String() = %q", c.String())
+	}
+}

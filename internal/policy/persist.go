@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Persistence for the Policy Box. §4.3: the Box "has default policies
+// supplied by the system designers, which can be overridden by
+// users"; §7 notes it is accessible to applications, the user, and
+// the operating system. A JSON file is the user-facing form: system
+// images ship a defaults file, users keep an overrides file, and both
+// load into one Box at boot.
+
+// FileFormat is the serialized Policy Box.
+type FileFormat struct {
+	// Tasks maps task names to their member IDs, fixing the
+	// correlation across save/load.
+	Tasks map[string]MemberID `json:"tasks"`
+	// Defaults and Overrides are the two policy layers.
+	Defaults  []PolicyRecord `json:"defaults"`
+	Overrides []PolicyRecord `json:"overrides,omitempty"`
+}
+
+// PolicyRecord is one serialized policy row.
+type PolicyRecord struct {
+	// Shares maps task names (not member IDs — names are the stable
+	// user-facing identity) to percentage shares.
+	Shares map[string]int `json:"shares"`
+	// Exclusive names the exclusive-resource holder, if any.
+	Exclusive string `json:"exclusive,omitempty"`
+}
+
+// Save writes the Box to w as indented JSON.
+func (b *Box) Save(w io.Writer) error {
+	var f FileFormat
+	f.Tasks = make(map[string]MemberID, len(b.byName))
+	for name, id := range b.byName {
+		f.Tasks[name] = id
+	}
+	record := func(p Policy) PolicyRecord {
+		r := PolicyRecord{Shares: make(map[string]int, len(p.Shares))}
+		for m, s := range p.Shares {
+			r.Shares[b.names[m]] = s
+		}
+		if p.Exclusive != NoMember {
+			r.Exclusive = b.names[p.Exclusive]
+		}
+		return r
+	}
+	// Deterministic order: sort by key.
+	keys := make([]string, 0, len(b.builtin))
+	for k := range b.builtin {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.Defaults = append(f.Defaults, record(b.builtin[k]))
+	}
+	keys = keys[:0]
+	for k := range b.user {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.Overrides = append(f.Overrides, record(b.user[k]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Load reads a serialized Policy Box from r into b, registering task
+// names and installing both layers. Loading into a non-empty Box
+// merges: existing registrations are reused by name; same-set
+// policies are replaced.
+func (b *Box) Load(r io.Reader) error {
+	var f FileFormat
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("policy: load: %w", err)
+	}
+	// Register names in their saved ID order so member IDs stay
+	// stable for a fresh box (merge into a used box just re-registers
+	// by name).
+	names := make([]string, 0, len(f.Tasks))
+	for n := range f.Tasks {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return f.Tasks[names[i]] < f.Tasks[names[j]] })
+	for _, n := range names {
+		b.Register(n)
+	}
+	install := func(rec PolicyRecord, override bool) error {
+		p := Policy{Shares: make(Ranking, len(rec.Shares))}
+		for name, share := range rec.Shares {
+			p.Shares[b.Register(name)] = share
+		}
+		if rec.Exclusive != "" {
+			p.Exclusive = b.Register(rec.Exclusive)
+		}
+		if override {
+			return b.SetOverride(p)
+		}
+		return b.SetDefault(p)
+	}
+	for i, rec := range f.Defaults {
+		if err := install(rec, false); err != nil {
+			return fmt.Errorf("policy: load defaults[%d]: %w", i, err)
+		}
+	}
+	for i, rec := range f.Overrides {
+		if err := install(rec, true); err != nil {
+			return fmt.Errorf("policy: load overrides[%d]: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	b := NewBox()
+	m := Table5(b, [4]string{"t1", "t2", "t3", "t4"})
+	// A user override on the pair set.
+	if err := b.SetOverride(Policy{Shares: Ranking{m[0]: 40, m[1]: 55}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b2 := NewBox()
+	if err := b2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Member IDs for the same names resolve consistently.
+	m2 := [4]MemberID{b2.MemberOf("t1"), b2.MemberOf("t2"), b2.MemberOf("t3"), b2.MemberOf("t4")}
+	for i := range m2 {
+		if m2[i] == NoMember {
+			t.Fatalf("task t%d lost its registration", i+1)
+		}
+	}
+	// The override layer survives.
+	p := b2.PolicyFor([]MemberID{m2[0], m2[1]})
+	if p.Invented || p.Shares[m2[1]] != 55 {
+		t.Errorf("override not restored: %v", p)
+	}
+	// Defaults survive beneath it.
+	b2.ClearOverride([]MemberID{m2[0], m2[1]})
+	p = b2.PolicyFor([]MemberID{m2[0], m2[1]})
+	if p.Invented || p.Shares[m2[1]] != 85 {
+		t.Errorf("default not restored: %v", p)
+	}
+	if b2.Len() != b.Len() {
+		t.Errorf("policy count %d != %d", b2.Len(), b.Len())
+	}
+}
+
+func TestSaveExclusive(t *testing.T) {
+	b := NewBox()
+	a := b.Register("a")
+	c := b.Register("c")
+	if err := b.SetDefault(Policy{Shares: Ranking{a: 40, c: 40}, Exclusive: c}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"exclusive": "c"`) {
+		t.Errorf("exclusive not serialized:\n%s", buf.String())
+	}
+	b2 := NewBox()
+	if err := b2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	p := b2.PolicyFor([]MemberID{b2.MemberOf("a"), b2.MemberOf("c")})
+	if p.Exclusive != b2.MemberOf("c") {
+		t.Error("exclusive holder lost in round trip")
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	b := NewBox()
+	if err := b.Load(strings.NewReader("{nope")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	// A policy with shares over 100% is rejected with context.
+	bad := `{"tasks":{"x":1,"y":2},"defaults":[{"shares":{"x":80,"y":80}}]}`
+	if err := b.Load(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "defaults[0]") {
+		t.Errorf("over-100%% policy: err = %v", err)
+	}
+}
+
+func TestLoadMergesIntoUsedBox(t *testing.T) {
+	b := NewBox()
+	a := b.Register("audio")
+	v := b.Register("video")
+	_ = b.SetDefault(Policy{Shares: Ranking{a: 70, v: 25}})
+
+	// A saved file from elsewhere mentioning one shared name.
+	src := NewBox()
+	sa := src.Register("audio")
+	sm := src.Register("modem")
+	_ = src.SetDefault(Policy{Shares: Ranking{sa: 50, sm: 45}})
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := b.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Existing registration reused: "audio" keeps its member ID.
+	if b.MemberOf("audio") != a {
+		t.Error("merge re-registered an existing name under a new ID")
+	}
+	// Both policies now present.
+	if p := b.PolicyFor([]MemberID{a, v}); p.Invented {
+		t.Error("pre-existing policy lost in merge")
+	}
+	if p := b.PolicyFor([]MemberID{a, b.MemberOf("modem")}); p.Invented {
+		t.Error("loaded policy missing after merge")
+	}
+}

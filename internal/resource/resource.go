@@ -1,0 +1,60 @@
+// Package resource models the MAP1000's non-CPU resources that the
+// paper's Resource Distributor manages alongside CPU cycles: the
+// exclusive-use Fixed Function Unit (FFU) and Data Streamer DMA
+// bandwidth. Table 1 "omits several fields that manage resources
+// other than CPU cycles on the MAP1000"; this package supplies those
+// fields for the reproduction, and §7's future-work note on managing
+// bandwidth as a resource is implemented here as a second admission
+// dimension.
+//
+// Conventions:
+//
+//   - The FFU is exclusive: at most one task may hold a grant whose
+//     entry needs it. When a stored policy designates an Exclusive
+//     member (§4.3), that member wins the FFU; otherwise the grant
+//     correlation resolves contention deterministically.
+//
+//   - Data Streamer bandwidth is a scalar capacity in MB/s. Admission
+//     sums the minimum entries' demands; grant control keeps the
+//     granted set's total within capacity, shedding levels exactly as
+//     it does for CPU.
+//
+//   - Resource menus are monotone: a lower QOS level never demands
+//     more of any resource than a higher one. task.ResourceList
+//     validation enforces this, which is what lets minimum-entry sums
+//     serve as the admission test across all dimensions.
+package resource
+
+import "fmt"
+
+// Capacity describes the machine's non-CPU resources.
+type Capacity struct {
+	// StreamerMBps is total Data Streamer bandwidth. Zero means the
+	// Streamer is not modelled (unlimited) — the default, so
+	// CPU-only configurations behave exactly as before.
+	StreamerMBps int64
+}
+
+// Unlimited reports whether the Streamer dimension is unmodelled.
+func (c Capacity) Unlimited() bool { return c.StreamerMBps <= 0 }
+
+// Demand is one resource-list entry's non-CPU requirements.
+type Demand struct {
+	// FFU marks entries requiring the exclusive Fixed Function Unit.
+	FFU bool
+	// StreamerMBps is the entry's Data Streamer bandwidth demand.
+	StreamerMBps int64
+}
+
+// Fits reports whether a total demand of mbps fits the capacity.
+func (c Capacity) Fits(mbps int64) bool {
+	return c.Unlimited() || mbps <= c.StreamerMBps
+}
+
+// String renders the capacity for diagnostics.
+func (c Capacity) String() string {
+	if c.Unlimited() {
+		return "streamer=unlimited"
+	}
+	return fmt.Sprintf("streamer=%dMBps", c.StreamerMBps)
+}

@@ -1,0 +1,42 @@
+package resource
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCapacityFits(t *testing.T) {
+	unlimited := Capacity{}
+	if !unlimited.Unlimited() {
+		t.Error("zero capacity should be unlimited")
+	}
+	if !unlimited.Fits(1 << 40) {
+		t.Error("unlimited capacity rejected a demand")
+	}
+	capped := Capacity{StreamerMBps: 100}
+	if capped.Unlimited() {
+		t.Error("capped capacity reported unlimited")
+	}
+	if !capped.Fits(100) {
+		t.Error("exact fit rejected")
+	}
+	if capped.Fits(101) {
+		t.Error("over-capacity demand accepted")
+	}
+}
+
+func TestCapacityString(t *testing.T) {
+	if s := (Capacity{}).String(); !strings.Contains(s, "unlimited") {
+		t.Errorf("String() = %q", s)
+	}
+	if s := (Capacity{StreamerMBps: 80}).String(); !strings.Contains(s, "80") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDemandZeroValue(t *testing.T) {
+	var d Demand
+	if d.FFU || d.StreamerMBps != 0 {
+		t.Error("zero Demand should demand nothing")
+	}
+}

@@ -1,0 +1,62 @@
+package rm
+
+import (
+	"repro/internal/sim"
+	"repro/internal/ticks"
+)
+
+// CostModel converts OpStats into simulated 27 MHz ticks, standing in
+// for the MAP1000 cycle counts behind the paper's §6.2/§6.3 numbers.
+// The defaults are calibrated so that admission lands in the paper's
+// 150-200 µs band and grant-set computation is cheap and O(1) in
+// underload but grows linearly with thread count in overload.
+type CostModel struct {
+	// AdmitBase/AdmitSpread: admission control cost is uniform in
+	// [AdmitBase, AdmitBase+AdmitSpread]. §6.2: 150-200 µs, constant
+	// in the number of threads.
+	AdmitBase   ticks.Ticks
+	AdmitSpread ticks.Ticks
+
+	// GrantFast is the O(1) underload determination (§6.3).
+	GrantFast ticks.Ticks
+	// PolicyLookup is the Policy Box database search.
+	PolicyLookup ticks.Ticks
+	// PerEntry is charged per resource-list entry examined during
+	// correlation, making the overload path O(N) in threads (each
+	// thread contributing its list length per pass).
+	PerEntry ticks.Ticks
+}
+
+// DefaultCostModel returns the calibrated model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		AdmitBase:    ticks.FromMicroseconds(150),
+		AdmitSpread:  ticks.FromMicroseconds(50),
+		GrantFast:    ticks.FromMicroseconds(15),
+		PolicyLookup: ticks.FromMicroseconds(25),
+		PerEntry:     ticks.FromMicroseconds(3),
+	}
+}
+
+// OpCost reports the simulated cost of an operation. rng supplies the
+// admission jitter; pass nil for the midpoint (deterministic runs).
+// The returned cost is charged "in the context of the requesting
+// application" (§4.1) — never against cycles committed to admitted
+// tasks.
+func (c CostModel) OpCost(op OpStats, rng *sim.RNG) ticks.Ticks {
+	var cost ticks.Ticks
+	if op.AdmissionChecks > 0 {
+		j := c.AdmitSpread / 2
+		if rng != nil {
+			j = ticks.Ticks(rng.Float64() * float64(c.AdmitSpread))
+		}
+		cost += c.AdmitBase + j
+	}
+	switch {
+	case op.FastPath:
+		cost += c.GrantFast
+	case op.PolicyConsulted:
+		cost += c.PolicyLookup + ticks.Ticks(op.EntriesExamined)*c.PerEntry
+	}
+	return cost
+}

@@ -1,0 +1,421 @@
+package rm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/policy"
+	"repro/internal/resource"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// Hooks is how the Resource Manager signals the Scheduler. §4.2:
+// increases are deferred ("the next time there is unallocated CPU
+// time, the Scheduler makes a callback to the Resource Manager to get
+// the new grant information"), while removals and decreases take
+// effect at the affected task's next period and are signalled
+// immediately.
+type Hooks interface {
+	// GrantsPending tells the Scheduler that a new grant set is
+	// waiting; it will call Manager.CollectGrants at its next
+	// unallocated time.
+	GrantsPending()
+	// GrantDecreased tells the Scheduler that id's grant shrank; the
+	// decrease applies from id's next period.
+	GrantDecreased(id task.ID, g Grant)
+	// GrantRemoved tells the Scheduler that id no longer has a grant
+	// (task exited or went quiescent).
+	GrantRemoved(id task.ID)
+}
+
+// NopHooks is a Hooks that does nothing, for tests that exercise the
+// Manager in isolation.
+type NopHooks struct{}
+
+func (NopHooks) GrantsPending()                {}
+func (NopHooks) GrantDecreased(task.ID, Grant) {}
+func (NopHooks) GrantRemoved(task.ID)          {}
+
+// Errors returned by admission and state changes.
+var (
+	// ErrAdmissionDenied is returned when the minimum resource-list
+	// entries of the task set would exceed the schedulable CPU.
+	ErrAdmissionDenied = errors.New("rm: admission denied: insufficient resources for minimum grants")
+	// ErrStreamerDenied is returned when the minimum entries' Data
+	// Streamer bandwidth demands would exceed capacity.
+	ErrStreamerDenied = errors.New("rm: admission denied: insufficient Data Streamer bandwidth for minimum grants")
+	// ErrFFUDenied is returned when a second task whose minimum level
+	// requires the exclusive FFU asks for admission.
+	ErrFFUDenied = errors.New("rm: admission denied: the FFU is exclusive and already reserved at another task's minimum level")
+	// ErrUnknownTask is returned for operations on a task ID that is
+	// not admitted.
+	ErrUnknownTask = errors.New("rm: unknown task")
+)
+
+// admitted is the Manager's record of one admitted task.
+type admitted struct {
+	id     task.ID
+	t      *task.Task
+	list   task.ResourceList // admitted copy (descriptor may be reused)
+	member policy.MemberID
+	state  task.State
+}
+
+// Manager is the Resource Manager.
+type Manager struct {
+	box   *policy.Box
+	hooks Hooks
+
+	// reserve is the CPU fraction set aside for interrupt handling
+	// (§5.2). The Figure 5 run reserves 4%.
+	reserve ticks.Frac
+
+	// streamer is the Data Streamer bandwidth capacity; the zero
+	// value leaves the dimension unmodelled.
+	streamer resource.Capacity
+
+	nextID task.ID
+	tasks  map[task.ID]*admitted
+
+	// minSum is the running sum of minimum rates over ALL admitted
+	// tasks (runnable, blocked, and quiescent) that makes admission
+	// control O(1) (§6.2).
+	minSum ticks.Frac
+
+	// maxSum is the running sum of maximum rates over non-quiescent
+	// tasks, giving the O(1) underload fast path of §6.3.
+	maxSum ticks.Frac
+
+	// minStreamerSum parallels minSum for Streamer bandwidth (all
+	// admitted tasks); maxStreamerSum and ffuMaxCount parallel maxSum
+	// (non-quiescent), extending the fast-path feasibility check to
+	// every dimension.
+	minStreamerSum int64
+	maxStreamerSum int64
+	ffuMaxCount    int
+
+	// ffuResidents counts admitted tasks (any state) whose minimum
+	// level requires the FFU; exclusivity caps this at one.
+	ffuResidents int
+
+	grants  GrantSet
+	pending bool // a recomputed grant set awaits Scheduler pickup
+
+	lastOp OpStats
+}
+
+// Config parameterises a Manager.
+type Config struct {
+	// Box is the Policy Box to consult in overload. If nil a fresh
+	// empty Box is created (every conflict gets an invented policy).
+	Box *policy.Box
+	// Hooks receives Scheduler notifications; nil means NopHooks.
+	Hooks Hooks
+	// InterruptReservePercent is the §5.2 interrupt reserve; the
+	// paper's Figure 5 run uses 4.
+	InterruptReservePercent int64
+
+	// Streamer is the Data Streamer bandwidth capacity. The zero
+	// value (no capacity set) leaves bandwidth unmodelled.
+	Streamer resource.Capacity
+}
+
+// New returns an empty Manager.
+func New(cfg Config) *Manager {
+	box := cfg.Box
+	if box == nil {
+		box = policy.NewBox()
+	}
+	var hooks Hooks = cfg.Hooks
+	if hooks == nil {
+		hooks = NopHooks{}
+	}
+	if cfg.InterruptReservePercent < 0 || cfg.InterruptReservePercent >= 100 {
+		panic("rm: interrupt reserve must be in [0,100)")
+	}
+	return &Manager{
+		box:      box,
+		hooks:    hooks,
+		reserve:  ticks.FracPercent(cfg.InterruptReservePercent),
+		streamer: cfg.Streamer,
+		nextID:   1,
+		tasks:    make(map[task.ID]*admitted),
+		minSum:   ticks.FracZero,
+		maxSum:   ticks.FracZero,
+		grants:   GrantSet{},
+	}
+}
+
+// Box exposes the Policy Box (applications and the user may install
+// policies through it; §7 notes it is accessible to all three).
+func (m *Manager) Box() *policy.Box { return m.box }
+
+// SetHooks installs the Scheduler notification sink after
+// construction. The Manager and Scheduler reference each other, so
+// one side must be wired late; internal/core builds the Manager
+// first, then the Scheduler, then calls SetHooks.
+func (m *Manager) SetHooks(h Hooks) {
+	if h == nil {
+		h = NopHooks{}
+	}
+	m.hooks = h
+}
+
+// Available reports the schedulable CPU fraction (1 - reserve).
+func (m *Manager) Available() ticks.Frac { return ticks.FracOne.Sub(m.reserve) }
+
+// MinSum reports the current admission running sum.
+func (m *Manager) MinSum() ticks.Frac { return m.minSum }
+
+// RequestAdmittance runs admission control for t and, if the task is
+// admitted, recomputes the grant set (§4.1). The returned ID
+// identifies the task in all later calls. The admission test is O(1):
+// the new task's minimum rate is added to the running sum and
+// compared with the schedulable CPU.
+func (m *Manager) RequestAdmittance(t *task.Task) (task.ID, error) {
+	m.lastOp = OpStats{Op: "admit"}
+	if err := t.Validate(); err != nil {
+		return task.NoID, err
+	}
+	list := t.List.Clone()
+	newSum := m.minSum.Add(list.MinFrac())
+	m.lastOp.AdmissionChecks = 1
+	if !newSum.LessOrEqual(m.Available()) {
+		return task.NoID, fmt.Errorf("%w: min sum would be %.4f of %.4f schedulable",
+			ErrAdmissionDenied, newSum.Float(), m.Available().Float())
+	}
+	newStreamer := m.minStreamerSum + list.Min().StreamerMBps
+	if !m.streamer.Fits(newStreamer) {
+		return task.NoID, fmt.Errorf("%w: min demands would be %d of %d MB/s",
+			ErrStreamerDenied, newStreamer, m.streamer.StreamerMBps)
+	}
+	if list.MinNeedsFFU() && m.ffuResidents > 0 {
+		return task.NoID, ErrFFUDenied
+	}
+	id := m.nextID
+	m.nextID++
+	a := &admitted{
+		id:     id,
+		t:      t,
+		list:   list,
+		member: m.box.Register(t.Name),
+		state:  task.Runnable,
+	}
+	if t.StartQuiescent {
+		a.state = task.Quiescent
+	}
+	m.tasks[id] = a
+	m.minSum = newSum
+	m.minStreamerSum = newStreamer
+	if list.MinNeedsFFU() {
+		m.ffuResidents++
+	}
+	if a.state != task.Quiescent {
+		m.addMaxSums(a.list)
+	}
+	m.recomputeGrants()
+	return id, nil
+}
+
+// addMaxSums and subMaxSums maintain the non-quiescent fast-path
+// feasibility sums across every resource dimension.
+func (m *Manager) addMaxSums(list task.ResourceList) {
+	m.maxSum = m.maxSum.Add(list.Max().Frac())
+	m.maxStreamerSum += list.Max().StreamerMBps
+	if list.Max().NeedsFFU {
+		m.ffuMaxCount++
+	}
+}
+
+func (m *Manager) subMaxSums(list task.ResourceList) {
+	m.maxSum = m.maxSum.Sub(list.Max().Frac())
+	m.maxStreamerSum -= list.Max().StreamerMBps
+	if list.Max().NeedsFFU {
+		m.ffuMaxCount--
+	}
+}
+
+// Remove takes id out of the system (the task exited or was
+// terminated by the user) and recomputes grants for the remainder.
+func (m *Manager) Remove(id task.ID) error {
+	a, ok := m.tasks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	m.lastOp = OpStats{Op: "remove"}
+	m.minSum = m.minSum.Sub(a.list.MinFrac())
+	m.minStreamerSum -= a.list.Min().StreamerMBps
+	if a.list.MinNeedsFFU() {
+		m.ffuResidents--
+	}
+	if a.state != task.Quiescent {
+		m.subMaxSums(a.list)
+	}
+	delete(m.tasks, id)
+	m.hooks.GrantRemoved(id)
+	m.recomputeGrants()
+	return nil
+}
+
+// SetQuiescent moves id into the quiescent state (§5.3): it stays in
+// the admission sum — so it can never be denied when it wakes — but
+// is dropped from the grant set, freeing its resources for others.
+func (m *Manager) SetQuiescent(id task.ID) error {
+	a, ok := m.tasks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	if a.state == task.Quiescent {
+		return nil
+	}
+	m.lastOp = OpStats{Op: "quiesce"}
+	a.state = task.Quiescent
+	m.subMaxSums(a.list)
+	m.hooks.GrantRemoved(id)
+	m.recomputeGrants()
+	return nil
+}
+
+// Wake returns a quiescent task to the runnable state. It cannot
+// fail: admission control already counted the task's minimum, so "at
+// worst, all tasks receive their minimum resource list entry" (§5.3).
+func (m *Manager) Wake(id task.ID) error {
+	a, ok := m.tasks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	if a.state != task.Quiescent {
+		return nil
+	}
+	m.lastOp = OpStats{Op: "wake"}
+	a.state = task.Runnable
+	m.addMaxSums(a.list)
+	m.recomputeGrants()
+	return nil
+}
+
+// ChangeResourceList replaces id's resource list (§4.1: a new grant
+// set is computed "when it changes its resource list"). The change is
+// admitted only if the new minimum keeps the admission sum within the
+// schedulable CPU.
+func (m *Manager) ChangeResourceList(id task.ID, list task.ResourceList) error {
+	a, ok := m.tasks[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	if err := list.Validate(); err != nil {
+		return err
+	}
+	m.lastOp = OpStats{Op: "change-list"}
+	newSum := m.minSum.Sub(a.list.MinFrac()).Add(list.MinFrac())
+	m.lastOp.AdmissionChecks = 1
+	if !newSum.LessOrEqual(m.Available()) {
+		return fmt.Errorf("%w: new list's minimum does not fit", ErrAdmissionDenied)
+	}
+	newStreamer := m.minStreamerSum - a.list.Min().StreamerMBps + list.Min().StreamerMBps
+	if !m.streamer.Fits(newStreamer) {
+		return fmt.Errorf("%w: new list's minimum does not fit", ErrStreamerDenied)
+	}
+	residents := m.ffuResidents
+	if a.list.MinNeedsFFU() {
+		residents--
+	}
+	if list.MinNeedsFFU() {
+		if residents > 0 {
+			return ErrFFUDenied
+		}
+		residents++
+	}
+	if a.state != task.Quiescent {
+		m.subMaxSums(a.list)
+		m.addMaxSums(list)
+	}
+	m.minSum = newSum
+	m.minStreamerSum = newStreamer
+	m.ffuResidents = residents
+	a.list = list.Clone()
+	m.recomputeGrants()
+	return nil
+}
+
+// State reports the admission-visible state of id.
+func (m *Manager) State(id task.ID) (task.State, error) {
+	a, ok := m.tasks[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	return a.state, nil
+}
+
+// TaskByID returns the descriptor admitted under id.
+func (m *Manager) TaskByID(id task.ID) (*task.Task, error) {
+	a, ok := m.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	return a.t, nil
+}
+
+// ListOf returns the admitted resource list of id.
+func (m *Manager) ListOf(id task.ID) (task.ResourceList, error) {
+	a, ok := m.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	return a.list.Clone(), nil
+}
+
+// Reevaluate recomputes the grant set against the current Policy Box
+// contents. §7 leaves open "when is it reasonable to change the
+// Policy Box, and when should the modification(s) occur to avoid
+// affecting current scheduling guarantees"; this reproduction's
+// answer: any time — the new grants propagate exactly like those from
+// an admission (decreases at each task's next period, increases at
+// unallocated time), so no committed period is ever disturbed.
+func (m *Manager) Reevaluate() {
+	m.lastOp = OpStats{Op: "reevaluate"}
+	m.recomputeGrants()
+}
+
+// Grants returns the committed grant set (a copy).
+func (m *Manager) Grants() GrantSet { return m.grants.Clone() }
+
+// HasPending reports whether a recomputed grant set awaits pickup.
+func (m *Manager) HasPending() bool { return m.pending }
+
+// CollectGrants is the Scheduler's §4.2 callback: "the Scheduler
+// makes a callback to the Resource Manager to get the new grant
+// information" when it has unallocated time. It returns the current
+// grant set and clears the pending flag.
+func (m *Manager) CollectGrants() GrantSet {
+	m.pending = false
+	return m.grants.Clone()
+}
+
+// NTasks reports the number of admitted tasks (all states).
+func (m *Manager) NTasks() int { return len(m.tasks) }
+
+// TaskIDs returns every admitted task ID (all states), ascending.
+func (m *Manager) TaskIDs() []task.ID {
+	out := make([]task.ID, 0, len(m.tasks))
+	for id := range m.tasks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// nonQuiescent returns admitted non-quiescent records in ID order,
+// for deterministic iteration.
+func (m *Manager) nonQuiescent() []*admitted {
+	out := make([]*admitted, 0, len(m.tasks))
+	for _, a := range m.tasks {
+		if a.state != task.Quiescent {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

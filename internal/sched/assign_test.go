@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// TestAssignGrantRunsSporadicInPeriodicContext covers the general
+// §5.1 assignment interface: a periodic task donates 12ms of its
+// grant to a sporadic task; the sporadic work runs inside the
+// periodic task's granted windows, spanning periods, and the periodic
+// task resumes afterwards.
+func TestAssignGrantRunsSporadicInPeriodicContext(t *testing.T) {
+	_, m, s := newSystem(0, sim.ZeroSwitchCosts())
+	var ownRan ticks.Ticks
+	donor := mustAdmit(t, m, &task.Task{
+		Name: "donor",
+		List: task.SingleLevel(10*ms, 5*ms, "Donor"),
+		Body: task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+			left := 5*ms - ctx.UsedThisPeriod
+			if left <= 0 {
+				return task.RunResult{Op: task.OpYield, Completed: true}
+			}
+			if left > ctx.Span {
+				ownRan += ctx.Span
+				return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+			}
+			ownRan += left
+			return task.RunResult{Used: left, Op: task.OpYield, Completed: true}
+		}),
+	})
+	other := mustAdmit(t, m, &task.Task{
+		Name: "other",
+		List: task.SingleLevel(10*ms, 4*ms, "Other"),
+		Body: task.PeriodicWork(4 * ms),
+	})
+	var spRan ticks.Ticks
+	sp := s.AddSporadic("burst", task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+		spRan += ctx.Span
+		return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+	}))
+	s.RunUntil(1) // start tasks
+	if err := s.AssignGrant(donor, sp, 12*ms); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(100 * ms)
+
+	if spRan != 12*ms {
+		t.Errorf("sporadic consumed %v of the 12ms assignment", spRan)
+	}
+	dst, _ := s.Stats(donor)
+	// Bookkeeping stays with the donor: its granted usage includes
+	// the sporadic's 12ms plus its own runs after the assignment.
+	if dst.UsedTicks != dst.GrantedTicks {
+		t.Errorf("donor used %v of granted %v", dst.UsedTicks, dst.GrantedTicks)
+	}
+	if ownRan == 0 {
+		t.Error("donor's own body never resumed after the assignment")
+	}
+	if ownRan+spRan != dst.UsedTicks {
+		t.Errorf("own %v + assigned %v != donor used %v", ownRan, spRan, dst.UsedTicks)
+	}
+	// Guarantees elsewhere unaffected.
+	ost, _ := s.Stats(other)
+	if ost.Misses != 0 {
+		t.Errorf("other task missed %d deadlines during assignment", ost.Misses)
+	}
+	if dst.Misses != 0 {
+		t.Errorf("donor missed %d deadlines", dst.Misses)
+	}
+}
+
+func TestAssignGrantEndsWhenSporadicBlocks(t *testing.T) {
+	_, m, s := newSystem(0, sim.ZeroSwitchCosts())
+	var ownRan ticks.Ticks
+	donor := mustAdmit(t, m, &task.Task{
+		Name: "donor",
+		List: task.SingleLevel(10*ms, 5*ms, "Donor"),
+		Body: task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+			left := 5*ms - ctx.UsedThisPeriod
+			if left <= 0 {
+				return task.RunResult{Op: task.OpYield, Completed: true}
+			}
+			if left > ctx.Span {
+				left = ctx.Span
+			}
+			ownRan += left
+			return task.RunResult{Used: left, Op: task.OpYield, Completed: true}
+		}),
+	})
+	sp := s.AddSporadic("blocker", task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+		// Use 1ms then block forever.
+		u := ticks.Min(ctx.Span, ms)
+		return task.RunResult{Used: u, Op: task.OpBlock}
+	}))
+	s.RunUntil(1)
+	if err := s.AssignGrant(donor, sp, 20*ms); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(50 * ms)
+	st, _ := s.SporadicStatsOf(sp)
+	if st.UsedTicks != ms {
+		t.Errorf("blocked sporadic consumed %v, want 1ms", st.UsedTicks)
+	}
+	// "when the sporadic thread blocks, the Scheduler returns to the
+	// periodic task": the donor runs its own body immediately after.
+	if ownRan == 0 {
+		t.Error("donor did not resume after the sporadic blocked")
+	}
+}
+
+func TestAssignGrantValidation(t *testing.T) {
+	_, m, s := newSystem(0, sim.ZeroSwitchCosts())
+	donor := mustAdmit(t, m, &task.Task{
+		Name: "donor", List: task.SingleLevel(10*ms, 5*ms, "D"), Body: task.PeriodicWork(5 * ms),
+	})
+	ss := mustAdmit(t, m, &task.Task{
+		Name: "ss", List: task.SingleLevel(10*ms, 1*ms, "SS"),
+		Body: task.BodyFunc(func(task.RunContext) task.RunResult { panic("unused") }),
+	})
+	if err := s.AttachSporadicServer(ss, false); err != nil {
+		t.Fatal(err)
+	}
+	sp := s.AddSporadic("x", task.Busy())
+	s.RunUntil(1)
+	if err := s.AssignGrant(999, sp, ms); err == nil {
+		t.Error("unknown donor accepted")
+	}
+	if err := s.AssignGrant(donor, 999, ms); err == nil {
+		t.Error("unknown sporadic accepted")
+	}
+	if err := s.AssignGrant(donor, sp, 0); err == nil {
+		t.Error("zero amount accepted")
+	}
+	if err := s.AssignGrant(ss, sp, ms); err == nil {
+		t.Error("assigning from the Sporadic Server itself accepted")
+	}
+	if err := s.AssignGrant(donor, sp, ms); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+}
+
+func TestAssignGrantDefersPeriodCallback(t *testing.T) {
+	// While an assignment is active across a period boundary, the
+	// donor's NewPeriod callback arrives when its own body resumes,
+	// not during the assignment.
+	_, m, s := newSystem(0, sim.ZeroSwitchCosts())
+	newPeriods := 0
+	donor := mustAdmit(t, m, &task.Task{
+		Name: "donor",
+		List: task.SingleLevel(10*ms, 5*ms, "Donor"),
+		Body: task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+			if ctx.NewPeriod {
+				newPeriods++
+			}
+			return task.RunResult{Used: ctx.Span, Op: task.OpYield, Completed: true}
+		}),
+	})
+	sp := s.AddSporadic("burst", task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+		return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+	}))
+	s.RunUntil(1)
+	if err := s.AssignGrant(donor, sp, 7*ms); err != nil { // spans two periods
+		t.Fatal(err)
+	}
+	s.RunUntil(40 * ms)
+	// Periods at 0 (consumed before assignment at t=1? no: RunUntil(1)
+	// delivered the first callback), then assignment covers most of
+	// periods 1-2; callbacks resume after. The donor must keep
+	// receiving callbacks once the assignment drains.
+	if newPeriods < 2 {
+		t.Errorf("donor saw %d period callbacks; deferral must not lose them", newPeriods)
+	}
+}

@@ -1,0 +1,269 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/rm"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// The Scheduler implements rm.Hooks so the Resource Manager can
+// signal grant changes (§4.2): increases wait for unallocated time;
+// decreases and removals are signalled immediately and take effect at
+// the affected task's next period.
+var _ rm.Hooks = (*Scheduler)(nil)
+
+// GrantsPending implements rm.Hooks. The Manager's pending flag is
+// the actual signal; the Scheduler polls it whenever TimeRemaining
+// drains, so nothing to do here.
+func (s *Scheduler) GrantsPending() {}
+
+// GrantDecreased implements rm.Hooks: the decrease occurs in the next
+// period for the affected task.
+func (s *Scheduler) GrantDecreased(id task.ID, g rm.Grant) {
+	t, ok := s.tasks[id]
+	if !ok {
+		return // not yet picked up; the eventual pickup has the new grant
+	}
+	ng := g
+	t.nextGrant = &ng
+}
+
+// GrantRemoved implements rm.Hooks: the task exited, was terminated,
+// or went quiescent. It stops being scheduled immediately.
+func (s *Scheduler) GrantRemoved(id task.ID) {
+	t, ok := s.tasks[id]
+	if !ok {
+		return
+	}
+	s.dropTask(t)
+}
+
+func (s *Scheduler) dropTask(t *tcb) {
+	s.dequeue(t)
+	s.setOvertime(t, false)
+	if t.wakeEvent != nil {
+		s.k.Cancel(t.wakeEvent)
+		t.wakeEvent = nil
+	}
+	if s.running == t {
+		s.running = nil
+	}
+	delete(s.tasks, t.id)
+}
+
+// collectGrants is the §4.2 unallocated-time callback: fetch the
+// grant set from the Resource Manager and reconcile. New tasks start
+// their first period immediately — in time that would otherwise have
+// been idle or overtime, so admission cannot affect an admitted task.
+// Increases for existing tasks apply at their next period start.
+func (s *Scheduler) collectGrants() {
+	gs := s.rmg.CollectGrants()
+	now := s.k.Now()
+	for id, g := range gs {
+		t, ok := s.tasks[id]
+		if !ok {
+			s.startTask(id, g, now)
+			continue
+		}
+		if g != t.grant {
+			ng := g
+			t.nextGrant = &ng
+		} else {
+			// Same grant as running: clear any stale change.
+			t.nextGrant = nil
+		}
+	}
+	// Tasks the Scheduler holds but the set omits were removed or
+	// quiesced; the immediate GrantRemoved signal already dropped
+	// them, so nothing to reconcile here.
+}
+
+// startTask builds a tcb for a newly granted task and begins its
+// first period at now. §5.5: "The stack is cleared before the call
+// ... This is how the initial grant for an admitted task is always
+// delivered" — the first dispatch is a fresh callback.
+func (s *Scheduler) startTask(id task.ID, g rm.Grant, now ticks.Ticks) {
+	desc, err := s.rmg.TaskByID(id)
+	if err != nil {
+		// Granted but unknown to the Manager: a wiring bug.
+		panic(fmt.Sprintf("sched: grant for unknown task %d: %v", id, err))
+	}
+	t := &tcb{
+		id:         id,
+		name:       desc.Name,
+		body:       desc.Body,
+		sem:        desc.Semantics,
+		controlled: desc.ControlledPreemption,
+		grant:      g,
+		newPeriod:  true,
+	}
+	if f, ok := desc.Body.(task.Filter); ok {
+		t.filter = f
+	}
+	if always, ok := s.pendingSS[id]; ok {
+		t.isSS = true
+		t.ssAlwaysOvertime = always
+		delete(s.pendingSS, id)
+	}
+	s.tasks[id] = t
+	s.beginPeriod(t, now)
+	s.obs.OnGrantApplied(id, g)
+}
+
+// beginPeriod starts a fresh period for t at start: applies any
+// pending grant change, resets the per-period accounting, and places
+// the task on TimeRemaining.
+func (s *Scheduler) beginPeriod(t *tcb, start ticks.Ticks) {
+	prevLevel := t.grant.Level
+	prevFFU := t.grant.Entry.NeedsFFU
+	if t.nextGrant != nil {
+		t.grant = *t.nextGrant
+		t.nextGrant = nil
+	}
+	t.prevLevel = prevLevel
+	t.grantChanged = t.grant.Level != prevLevel
+	t.ffuChanged = t.grant.Entry.NeedsFFU != prevFFU
+	t.periodStart = start
+	t.deadline = start + t.grant.Entry.Period
+	t.remaining = t.grant.Entry.CPU
+	t.prevUsed = t.usedThisPeriod
+	t.prevCompleted = t.completed
+	t.usedThisPeriod = 0
+	t.completed = false
+	t.newPeriod = true
+	t.stats.Periods++
+	t.stats.GrantedTicks += t.grant.Entry.CPU
+	s.setOvertime(t, false)
+	s.enqueue(t, qTimeRemaining)
+	s.obs.OnPeriodStart(t.id, start, t.deadline, t.grant.Level, t.grant.Entry.CPU)
+}
+
+// rollPeriods processes every period boundary at or before now:
+// deadline audit, §5.4 inserted idle cycles, blocked-task
+// bookkeeping, and new-period setup. Boundaries are processed lazily
+// — the Scheduler only takes "exactly those context switch interrupts
+// required" (§6.1), so a boundary that did not force a switch is
+// handled at the next natural wakeup.
+func (s *Scheduler) rollPeriods(now ticks.Ticks) {
+	for _, t := range s.tasksByID() {
+		for t.deadline <= now {
+			if t.blocked {
+				// Guarantees are void while blocked; slide the
+				// period window forward without granting.
+				t.stats.BlockedPeriods++
+				s.advanceWindow(t)
+				continue
+			}
+			if t.wokenMidPeriod {
+				if t.deadline <= t.wokeAt {
+					// Boundaries are processed lazily; this one
+					// elapsed while the task was still blocked.
+					t.stats.BlockedPeriods++
+					s.advanceWindow(t)
+					continue
+				}
+				// First full period after waking: guarantees resume.
+				t.wokenMidPeriod = false
+				start := t.deadline + t.takeInsertedIdle()
+				s.beginPeriod(t, start)
+				continue
+			}
+			// Deadline audit: a task still holding granted CPU on
+			// TimeRemaining at its deadline missed it.
+			if t.queue == qTimeRemaining && t.remaining > 0 {
+				t.stats.Misses++
+				s.obs.OnDeadlineMiss(t.id, t.deadline, t.remaining)
+			}
+			start := t.deadline + t.takeInsertedIdle()
+			s.beginPeriod(t, start)
+		}
+	}
+}
+
+// advanceWindow slides a blocked task's period window one period
+// forward without granting resources.
+func (s *Scheduler) advanceWindow(t *tcb) {
+	start := t.deadline + t.takeInsertedIdle()
+	period := t.grant.Entry.Period
+	if t.nextGrant != nil {
+		// Window arithmetic uses the upcoming grant's period once
+		// the change is due; applying it here keeps deadlines
+		// consistent with what beginPeriod will install.
+		period = t.nextGrant.Entry.Period
+	}
+	t.periodStart = start
+	t.deadline = start + period
+}
+
+func (t *tcb) takeInsertedIdle() ticks.Ticks {
+	d := t.insertIdle
+	t.insertIdle = 0
+	return d
+}
+
+// tasksByID returns tcbs in ascending task ID order, for
+// deterministic iteration over the map.
+func (s *Scheduler) tasksByID() []*tcb {
+	out := make([]*tcb, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		out = append(out, t)
+	}
+	// Insertion sort; n is small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].id < out[j-1].id; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// InsertIdleCycles postpones the start of id's next period by n ticks
+// (§5.4). Postponement cannot jeopardise other tasks' guarantees;
+// pulling a period in could, so negative n is rejected.
+func (s *Scheduler) InsertIdleCycles(id task.ID, n ticks.Ticks) error {
+	if n < 0 {
+		return fmt.Errorf("sched: InsertIdleCycles(%d): cannot pull in a period start", n)
+	}
+	t, ok := s.tasks[id]
+	if !ok {
+		return fmt.Errorf("sched: InsertIdleCycles: unknown task %d", id)
+	}
+	t.insertIdle += n
+	return nil
+}
+
+// Unblock wakes a task that blocked with no wake time (OpBlock with
+// BlockFor == 0). Guarantees resume in the first full period.
+func (s *Scheduler) Unblock(id task.ID) error {
+	t, ok := s.tasks[id]
+	if !ok {
+		return fmt.Errorf("sched: Unblock: unknown task %d", id)
+	}
+	if !t.blocked {
+		return nil
+	}
+	s.wake(t)
+	return nil
+}
+
+func (s *Scheduler) wake(t *tcb) {
+	t.blocked = false
+	t.wokenMidPeriod = true
+	t.wokeAt = s.k.Now()
+	if t.wakeEvent != nil {
+		s.k.Cancel(t.wakeEvent)
+		t.wakeEvent = nil
+	}
+}
+
+// Deadline reports id's current period deadline, for tests and the
+// latency experiments.
+func (s *Scheduler) Deadline(id task.ID) (ticks.Ticks, bool) {
+	t, ok := s.tasks[id]
+	if !ok {
+		return 0, false
+	}
+	return t.deadline, true
+}

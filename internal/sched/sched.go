@@ -1,0 +1,345 @@
+// Package sched implements the Scheduler of the ETI Resource
+// Distributor (§4.2): an Earliest Deadline First scheduler that
+// enforces the grants computed by the Resource Manager.
+//
+// The Scheduler makes no policy decisions. It maintains the paper's
+// two deadline-ordered queues — TimeRemaining (tasks with unused
+// granted CPU this period) and TimeExpired (all others) — plus the
+// OvertimeRequested queue for tasks that ran out of grant with work
+// left. On each context switch it takes the first thread off
+// TimeRemaining; failing that it collects pending grants from the
+// Resource Manager (new grants begin only in otherwise-unallocated
+// time, so admission can never disturb an admitted task); failing
+// that it runs the first OvertimeRequested thread, of which the Idle
+// thread is always one.
+//
+// The timer interrupt for the next switch is set at the earlier of
+// the end of the running thread's grant and the start of a new period
+// for a thread whose next deadline precedes the running thread's
+// (§4.2). A small-overlap override completes a thread whose remaining
+// allocation is smaller than a context switch is worth. Controlled
+// preemption (§5.6) gives registered tasks a grace period to yield
+// voluntarily before being preempted involuntarily.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rm"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// DispatchKind classifies a stretch of CPU given to a task, for
+// traces (Figure 4 renders granted time dark and overtime light).
+type DispatchKind int
+
+const (
+	// DispatchGranted is execution against the period's grant.
+	DispatchGranted DispatchKind = iota
+	// DispatchOvertime is unallocated time given to an
+	// OvertimeRequested thread.
+	DispatchOvertime
+	// DispatchGrace is execution inside a §5.6 grace period.
+	DispatchGrace
+	// DispatchSporadic is sporadic-task execution charged to the
+	// Sporadic Server's grant (§5.1).
+	DispatchSporadic
+	// DispatchIdle is the idle thread.
+	DispatchIdle
+)
+
+func (k DispatchKind) String() string {
+	switch k {
+	case DispatchGranted:
+		return "granted"
+	case DispatchOvertime:
+		return "overtime"
+	case DispatchGrace:
+		return "grace"
+	case DispatchSporadic:
+		return "sporadic"
+	case DispatchIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("DispatchKind(%d)", int(k))
+	}
+}
+
+// Observer receives scheduling events; internal/trace implements it.
+// All methods are called from the simulation goroutine.
+type Observer interface {
+	// OnDispatch reports that tk executed from from to to.
+	OnDispatch(id task.ID, name string, from, to ticks.Ticks, kind DispatchKind, level int)
+	// OnPeriodStart reports a new period with its grant level.
+	OnPeriodStart(id task.ID, start, deadline ticks.Ticks, level int, cpu ticks.Ticks)
+	// OnDeadlineMiss reports a guarantee violation: a runnable task
+	// reached its deadline with granted CPU undelivered.
+	OnDeadlineMiss(id task.ID, deadline, undelivered ticks.Ticks)
+	// OnSwitch reports a context switch and its simulated cost.
+	OnSwitch(kind sim.SwitchKind, cost ticks.Ticks)
+	// OnGrantApplied reports a task beginning to run under a grant.
+	OnGrantApplied(id task.ID, g rm.Grant)
+}
+
+// nopObserver is the default Observer.
+type nopObserver struct{}
+
+func (nopObserver) OnDispatch(task.ID, string, ticks.Ticks, ticks.Ticks, DispatchKind, int) {}
+func (nopObserver) OnPeriodStart(task.ID, ticks.Ticks, ticks.Ticks, int, ticks.Ticks)       {}
+func (nopObserver) OnDeadlineMiss(task.ID, ticks.Ticks, ticks.Ticks)                        {}
+func (nopObserver) OnSwitch(sim.SwitchKind, ticks.Ticks)                                    {}
+func (nopObserver) OnGrantApplied(task.ID, rm.Grant)                                        {}
+
+// queueID says which paper queue a tcb currently lives on.
+type queueID int
+
+const (
+	qNone queueID = iota
+	qTimeRemaining
+	qTimeExpired
+)
+
+// tcb is the Scheduler's per-task control block.
+type tcb struct {
+	id         task.ID
+	name       string
+	body       task.Body
+	sem        task.Semantics
+	filter     task.Filter // non-nil if the body implements task.Filter
+	controlled bool        // §5.6 controlled-preemption registration
+
+	grant     rm.Grant
+	nextGrant *rm.Grant // grant to apply at the next period start
+
+	periodStart ticks.Ticks
+	deadline    ticks.Ticks
+	remaining   ticks.Ticks // granted CPU left this period
+	insertIdle  ticks.Ticks // §5.4 InsertIdleCycles postponement
+
+	usedThisPeriod ticks.Ticks
+	prevUsed       ticks.Ticks
+	prevCompleted  bool
+	completed      bool // this period's work reported complete
+	newPeriod      bool // next dispatch is the first of the period
+	everRan        bool // the initial grant has been delivered
+	grantChanged   bool // grant level differs from previous period
+	prevLevel      int  // grant level of the previous period
+	ffuChanged     bool // FFU access acquired or lost with the grant change
+	exception      bool // deliver §5.6 exception callback next dispatch
+
+	queue    queueID
+	overtime bool // also on the OvertimeRequested queue
+	blocked  bool
+	// wokenMidPeriod: the task unblocked mid-period; guarantees
+	// resume "in the first full period in which the thread is not
+	// blocked" (§4.2), i.e. at the next rollover.
+	wokenMidPeriod bool
+	wokeAt         ticks.Ticks // when the task last unblocked
+	wakeEvent      *sim.Event
+	// lastExitVoluntary records how the task last left the CPU, to
+	// pick the switch-cost class when another thread comes on.
+	lastExitVoluntary bool
+	// coldCache marks a task whose last exit was involuntary: its
+	// next dispatch pays the §5.6 cache-refill penalty (if modelled).
+	coldCache bool
+
+	// Sporadic Server state (§5.1).
+	isSS             bool
+	ssAlwaysOvertime bool
+	ssAssignLeft     ticks.Ticks
+	ssCurrent        *sporadicTask
+
+	// Accounting.
+	stats TaskStats
+}
+
+// TaskStats is the per-task accounting the Scheduler passes back to
+// the Resource Manager (§3.3) and to experiments.
+type TaskStats struct {
+	Periods        int64
+	Misses         int64
+	GrantedTicks   ticks.Ticks // sum of per-period grants while runnable
+	UsedTicks      ticks.Ticks // granted CPU actually consumed
+	OvertimeTicks  ticks.Ticks // unallocated CPU consumed
+	BlockedPeriods int64
+	Exceptions     int64 // failed grace periods
+}
+
+// Config parameterises a Scheduler.
+type Config struct {
+	Kernel *sim.Kernel
+	RM     *rm.Manager
+
+	// Observer receives trace events; nil for none.
+	Observer Observer
+
+	// OverrideWindow is the small-overlap override (§4.2): if the
+	// running thread's remaining grant is at most this when a
+	// preemption would occur, it is allowed to finish. Zero selects
+	// the default of twice the mean involuntary switch cost.
+	OverrideWindow ticks.Ticks
+
+	// GracePeriod is the §5.6 controlled-preemption window ("on the
+	// order of a couple hundred µSec"). Zero selects 200 µs.
+	GracePeriod ticks.Ticks
+
+	// SporadicSlice is the grant assignment quantum of the Sporadic
+	// Server (§5.1, "currently 10 ms"). Zero selects 10 ms.
+	SporadicSlice ticks.Ticks
+
+	// OnExit is called when a task's body returns OpExit, after the
+	// Scheduler drops it; the caller (internal/core) removes it from
+	// the Resource Manager. May be nil.
+	OnExit func(id task.ID)
+}
+
+// Scheduler is the ETI Resource Distributor's EDF scheduler.
+type Scheduler struct {
+	k   *sim.Kernel
+	rmg *rm.Manager
+	obs Observer
+
+	override ticks.Ticks
+	grace    ticks.Ticks
+	ssSlice  ticks.Ticks
+	onExit   func(task.ID)
+
+	tasks map[task.ID]*tcb
+
+	timeRemaining []*tcb // deadline-ordered
+	timeExpired   []*tcb // deadline-ordered
+	overtimeQ     []*tcb // deadline-ordered; conceptually ends with Idle
+
+	running *tcb // thread currently on the CPU; nil at boot
+
+	sporadics      []*sporadicTask
+	nextSporadicID SporadicID
+	pendingSS      map[task.ID]bool // server marks awaiting first pickup
+
+	// idleStats accounts the implicit Idle thread.
+	idleTicks ticks.Ticks
+}
+
+// New builds a Scheduler on the given kernel and Resource Manager.
+// Wire it as the Manager's Hooks (rm.Config.Hooks) so grant
+// notifications flow; internal/core does this.
+func New(cfg Config) *Scheduler {
+	if cfg.Kernel == nil || cfg.RM == nil {
+		panic("sched: Kernel and RM are required")
+	}
+	obs := cfg.Observer
+	if obs == nil {
+		obs = nopObserver{}
+	}
+	override := cfg.OverrideWindow
+	if override == 0 {
+		override = 2 * ticks.FromMicroseconds(35) // 2x mean involuntary cost
+	}
+	grace := cfg.GracePeriod
+	if grace == 0 {
+		grace = ticks.FromMicroseconds(200)
+	}
+	slice := cfg.SporadicSlice
+	if slice == 0 {
+		slice = ticks.FromMilliseconds(10)
+	}
+	return &Scheduler{
+		k:        cfg.Kernel,
+		rmg:      cfg.RM,
+		obs:      obs,
+		override: override,
+		grace:    grace,
+		ssSlice:  slice,
+		onExit:   cfg.OnExit,
+		tasks:    make(map[task.ID]*tcb),
+	}
+}
+
+// --- deadline-ordered queue helpers ---
+
+func insertByDeadline(q []*tcb, t *tcb) []*tcb {
+	i := sort.Search(len(q), func(i int) bool {
+		if q[i].deadline != t.deadline {
+			return q[i].deadline > t.deadline
+		}
+		return q[i].id > t.id
+	})
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = t
+	return q
+}
+
+func removeFrom(q []*tcb, t *tcb) []*tcb {
+	for i, x := range q {
+		if x == t {
+			copy(q[i:], q[i+1:])
+			return q[:len(q)-1]
+		}
+	}
+	return q
+}
+
+// enqueue places t on the given paper queue, removing it from its
+// previous one.
+func (s *Scheduler) enqueue(t *tcb, q queueID) {
+	s.dequeue(t)
+	t.queue = q
+	switch q {
+	case qTimeRemaining:
+		s.timeRemaining = insertByDeadline(s.timeRemaining, t)
+	case qTimeExpired:
+		s.timeExpired = insertByDeadline(s.timeExpired, t)
+	}
+}
+
+// dequeue removes t from whatever paper queue it is on.
+func (s *Scheduler) dequeue(t *tcb) {
+	switch t.queue {
+	case qTimeRemaining:
+		s.timeRemaining = removeFrom(s.timeRemaining, t)
+	case qTimeExpired:
+		s.timeExpired = removeFrom(s.timeExpired, t)
+	}
+	t.queue = qNone
+}
+
+func (s *Scheduler) setOvertime(t *tcb, want bool) {
+	if t.overtime == want {
+		return
+	}
+	t.overtime = want
+	if want {
+		s.overtimeQ = insertByDeadline(s.overtimeQ, t)
+	} else {
+		s.overtimeQ = removeFrom(s.overtimeQ, t)
+	}
+}
+
+// Stats returns a copy of id's accounting, and whether id is known.
+func (s *Scheduler) Stats(id task.ID) (TaskStats, bool) {
+	t, ok := s.tasks[id]
+	if !ok {
+		return TaskStats{}, false
+	}
+	return t.stats, true
+}
+
+// IdleTicks reports CPU spent in the idle thread.
+func (s *Scheduler) IdleTicks() ticks.Ticks { return s.idleTicks }
+
+// NTasks reports the number of tasks the Scheduler currently holds.
+func (s *Scheduler) NTasks() int { return len(s.tasks) }
+
+// TaskIDs returns the scheduled task IDs in ascending order.
+func (s *Scheduler) TaskIDs() []task.ID {
+	out := make([]task.ID, 0, len(s.tasks))
+	for id := range s.tasks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

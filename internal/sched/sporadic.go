@@ -1,0 +1,352 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// Sporadic tasks (§5.1) are neither periodic nor real-time. They are
+// managed by the Sporadic Server — itself an admitted periodic task —
+// which keeps a round-robin queue of them and assigns its own grant
+// to the front task for a fixed slice (10 ms in the paper). When the
+// Scheduler selects the server, the assigned sporadic thread runs
+// instead; resource bookkeeping stays with the server. An assignment
+// larger than one period's grant simply extends over several periods.
+// Sporadic tasks have no scheduling guarantees: their performance is
+// a function of the server's grant and the queue length.
+
+// SporadicID identifies a sporadic task within a Scheduler.
+type SporadicID int32
+
+// sporadicTask is the server's record of one sporadic thread.
+type sporadicTask struct {
+	id      SporadicID
+	name    string
+	body    task.Body
+	blocked bool
+	wake    *sim.Event
+	stats   SporadicStats
+}
+
+// SporadicStats is per-sporadic-task accounting.
+type SporadicStats struct {
+	UsedTicks  ticks.Ticks
+	Dispatches int64
+}
+
+// AttachSporadicServer marks the admitted task id as the Sporadic
+// Server. alwaysOvertime makes the server indicate it has work at the
+// end of every period, as in the paper's Figure 5 run ("it is the
+// only thread that indicates it has work to do at the end of each
+// period") — it then soaks up otherwise-unallocated time.
+//
+// The call may precede the Scheduler's first grant pickup; the mark
+// is applied when the task starts.
+func (s *Scheduler) AttachSporadicServer(id task.ID, alwaysOvertime bool) error {
+	if t, ok := s.tasks[id]; ok {
+		t.isSS = true
+		t.ssAlwaysOvertime = alwaysOvertime
+		return nil
+	}
+	if _, err := s.rmg.TaskByID(id); err != nil {
+		return fmt.Errorf("sched: AttachSporadicServer: unknown task %d", id)
+	}
+	if s.pendingSS == nil {
+		s.pendingSS = make(map[task.ID]bool)
+	}
+	s.pendingSS[id] = alwaysOvertime
+	return nil
+}
+
+// AddSporadic appends a sporadic task to the server's round-robin
+// queue. It may be called before or after AttachSporadicServer.
+func (s *Scheduler) AddSporadic(name string, body task.Body) SporadicID {
+	s.nextSporadicID++
+	sp := &sporadicTask{id: s.nextSporadicID, name: name, body: body}
+	s.sporadics = append(s.sporadics, sp)
+	return sp.id
+}
+
+// RemoveSporadic drops a sporadic task from the queue.
+func (s *Scheduler) RemoveSporadic(id SporadicID) {
+	for i, sp := range s.sporadics {
+		if sp.id == id {
+			if sp.wake != nil {
+				s.k.Cancel(sp.wake)
+			}
+			s.sporadics = append(s.sporadics[:i], s.sporadics[i+1:]...)
+			s.clearSSAssignment(sp)
+			return
+		}
+	}
+}
+
+// SporadicWake unblocks a sporadic task that blocked indefinitely.
+func (s *Scheduler) SporadicWake(id SporadicID) {
+	for _, sp := range s.sporadics {
+		if sp.id == id {
+			sp.blocked = false
+			if sp.wake != nil {
+				s.k.Cancel(sp.wake)
+				sp.wake = nil
+			}
+			return
+		}
+	}
+}
+
+// AssignGrant implements the general §5.1 interface: "We provide an
+// interface whereby any periodic task can 'assign' its grant for a
+// specific period of time to another (non-periodic) task." While the
+// assignment is active, dispatches of the periodic task run the
+// sporadic body instead, with resource bookkeeping still done in the
+// periodic task's context; the assignment extends over multiple
+// periods if amount exceeds one period's grant. When the amount is
+// consumed or the sporadic task blocks or exits, the periodic task
+// resumes (receiving any pending period callback at that point).
+func (s *Scheduler) AssignGrant(id task.ID, sp SporadicID, amount ticks.Ticks) error {
+	t, ok := s.tasks[id]
+	if !ok {
+		return fmt.Errorf("sched: AssignGrant: unknown task %d", id)
+	}
+	if t.isSS {
+		return fmt.Errorf("sched: AssignGrant: task %d is the Sporadic Server", id)
+	}
+	if amount <= 0 {
+		return fmt.Errorf("sched: AssignGrant: non-positive amount %v", amount)
+	}
+	for _, x := range s.sporadics {
+		if x.id == sp {
+			t.ssCurrent = x
+			t.ssAssignLeft = amount
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: AssignGrant: unknown sporadic task %d", sp)
+}
+
+// runAssigned executes a general grant assignment (§5.1) inside the
+// periodic task cur's dispatch. It consumes up to the assignment
+// remainder, then — if span is left — falls through to cur's own
+// body, delivering any period callback that was deferred while the
+// assignment was active.
+func (s *Scheduler) runAssigned(cur *tcb, ctx task.RunContext) task.RunResult {
+	sp := cur.ssCurrent
+	give := ctx.Span
+	if cur.ssAssignLeft < give {
+		give = cur.ssAssignLeft
+	}
+	res := sp.body.Run(task.RunContext{Now: ctx.Now, Span: give})
+	if res.Used < 0 {
+		res.Used = 0
+	}
+	if res.Used > give {
+		res.Used = give
+	}
+	cur.ssAssignLeft -= res.Used
+	sp.stats.UsedTicks += res.Used
+	sp.stats.Dispatches++
+	if res.Used > 0 {
+		s.obs.OnDispatch(cur.id, "assigned:"+sp.name, ctx.Now, ctx.Now+res.Used, DispatchSporadic, cur.grant.Level)
+	}
+
+	switch res.Op {
+	case task.OpBlock:
+		// "when the sporadic thread blocks, the Scheduler returns to
+		// the periodic task" — the assignment ends.
+		sp.blocked = true
+		cur.ssCurrent = nil
+		cur.ssAssignLeft = 0
+		if res.BlockFor > 0 {
+			spc := sp
+			sp.wake = s.k.After(res.BlockFor, func() {
+				spc.wake = nil
+				spc.blocked = false
+			})
+		}
+	case task.OpExit:
+		s.RemoveSporadic(sp.id)
+		cur.ssCurrent = nil
+		cur.ssAssignLeft = 0
+	case task.OpYield:
+		cur.ssCurrent = nil
+		cur.ssAssignLeft = 0
+	default:
+		if cur.ssAssignLeft == 0 {
+			cur.ssCurrent = nil
+		}
+	}
+
+	spanLeft := ctx.Span - res.Used
+	if cur.ssCurrent != nil || spanLeft == 0 {
+		// Assignment still active (or span exhausted): the periodic
+		// task's own work waits.
+		return task.RunResult{Used: res.Used, Op: task.OpRanOut}
+	}
+	// Assignment over with time left: resume the periodic task's own
+	// body, delivering the deferred period callback if one is due.
+	ctx2 := ctx
+	ctx2.Now += res.Used
+	ctx2.Span = spanLeft
+	ctx2.UsedThisPeriod += res.Used
+	if cur.newPeriod {
+		cur.newPeriod = false
+		ctx2.NewPeriod = s.deliverAsCallback(cur)
+	}
+	res2 := cur.body.Run(ctx2)
+	if res2.Used < 0 {
+		res2.Used = 0
+	}
+	if res2.Used > spanLeft {
+		res2.Used = spanLeft
+	}
+	return task.RunResult{
+		Used:      res.Used + res2.Used,
+		Op:        res2.Op,
+		BlockFor:  res2.BlockFor,
+		Completed: res2.Completed,
+	}
+}
+
+// SporadicStatsOf reports accounting for a sporadic task.
+func (s *Scheduler) SporadicStatsOf(id SporadicID) (SporadicStats, bool) {
+	for _, sp := range s.sporadics {
+		if sp.id == id {
+			return sp.stats, true
+		}
+	}
+	return SporadicStats{}, false
+}
+
+// clearSSAssignment cancels any active assignment to sp.
+func (s *Scheduler) clearSSAssignment(sp *sporadicTask) {
+	for _, t := range s.tasks {
+		if t.isSS && t.ssCurrent == sp {
+			t.ssCurrent = nil
+			t.ssAssignLeft = 0
+		}
+	}
+}
+
+// nextReadySporadic returns the first unblocked sporadic task.
+func (s *Scheduler) nextReadySporadic() *sporadicTask {
+	for _, sp := range s.sporadics {
+		if !sp.blocked {
+			return sp
+		}
+	}
+	return nil
+}
+
+// rotateSporadic moves sp to the back of the round-robin queue.
+func (s *Scheduler) rotateSporadic(sp *sporadicTask) {
+	for i, x := range s.sporadics {
+		if x == sp {
+			s.sporadics = append(s.sporadics[:i], s.sporadics[i+1:]...)
+			s.sporadics = append(s.sporadics, sp)
+			return
+		}
+	}
+}
+
+// runSporadicServer executes the server's dispatch: assign the grant
+// slice to queued sporadic tasks and run them inside the offered
+// span. The result is shaped like a body result so the main loop's
+// resolve logic applies unchanged.
+func (s *Scheduler) runSporadicServer(cur *tcb, ctx task.RunContext) task.RunResult {
+	spanLeft := ctx.Span
+	var used ticks.Ticks
+	// zeroStreak guards against a live-lock: ready sporadic tasks
+	// that consume nothing (e.g. polling an empty queue) must not
+	// spin the server loop. After one fruitless round-robin cycle the
+	// server treats the queue as idle for this dispatch.
+	zeroStreak := 0
+	for spanLeft > 0 {
+		if zeroStreak > len(s.sporadics) {
+			break
+		}
+		if cur.ssCurrent == nil {
+			sp := s.nextReadySporadic()
+			if sp == nil {
+				break
+			}
+			cur.ssCurrent = sp
+			cur.ssAssignLeft = s.ssSlice
+		}
+		sp := cur.ssCurrent
+		give := spanLeft
+		if cur.ssAssignLeft < give {
+			give = cur.ssAssignLeft
+		}
+		res := sp.body.Run(task.RunContext{
+			Now:  ctx.Now + used,
+			Span: give,
+		})
+		if res.Used < 0 {
+			res.Used = 0
+		}
+		if res.Used > give {
+			res.Used = give
+		}
+		used += res.Used
+		spanLeft -= res.Used
+		cur.ssAssignLeft -= res.Used
+		sp.stats.UsedTicks += res.Used
+		sp.stats.Dispatches++
+		if res.Used == 0 {
+			zeroStreak++
+		} else {
+			zeroStreak = 0
+		}
+		if res.Used > 0 {
+			s.obs.OnDispatch(cur.id, "sporadic:"+sp.name, ctx.Now+used-res.Used, ctx.Now+used, DispatchSporadic, cur.grant.Level)
+		}
+
+		switch res.Op {
+		case task.OpYield:
+			s.rotateSporadic(sp)
+			cur.ssCurrent = nil
+		case task.OpBlock:
+			sp.blocked = true
+			cur.ssCurrent = nil
+			if res.BlockFor > 0 {
+				spc := sp
+				sp.wake = s.k.After(res.BlockFor, func() {
+					spc.wake = nil
+					spc.blocked = false
+				})
+			}
+		case task.OpExit:
+			s.RemoveSporadic(sp.id)
+			cur.ssCurrent = nil
+		default: // ran out of the offered slice
+			if cur.ssAssignLeft == 0 {
+				// Assignment consumed: rotate; a fresh slice will be
+				// assigned next time the server runs (possibly next
+				// period — assignments span periods).
+				s.rotateSporadic(sp)
+				cur.ssCurrent = nil
+			}
+		}
+	}
+
+	// More work queued (or an open assignment): ask for overtime so
+	// unallocated time flows to sporadic tasks.
+	hasWork := cur.ssCurrent != nil || s.nextReadySporadic() != nil
+	switch {
+	case spanLeft == 0 && (hasWork || cur.ssAlwaysOvertime):
+		return task.RunResult{Used: used, Op: task.OpOvertime}
+	case spanLeft == 0:
+		return task.RunResult{Used: used, Op: task.OpRanOut}
+	case cur.ssAlwaysOvertime:
+		// The Figure 5 server "indicates it has work to do at the end
+		// of each period": with nothing queued it busy-polls, burning
+		// the rest of the span, and still requests overtime.
+		return task.RunResult{Used: used + spanLeft, Op: task.OpOvertime, Completed: true}
+	default:
+		return task.RunResult{Used: used, Op: task.OpYield, Completed: true}
+	}
+}

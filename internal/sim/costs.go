@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/ticks"
+)
+
+// SwitchKind distinguishes the two context-switch classes of §5.6 and
+// §6.1. A voluntary (synchronous) switch happens when a task yields,
+// blocks, or completes its period work: only the 14 caller-saved
+// registers (times two banks) need saving. An involuntary switch is
+// forced by a timer interrupt and must additionally save the 64
+// system registers.
+type SwitchKind int
+
+const (
+	// Voluntary is a synchronous switch initiated by the running task.
+	Voluntary SwitchKind = iota
+	// Involuntary is an asynchronous, timer-forced switch.
+	Involuntary
+)
+
+func (k SwitchKind) String() string {
+	if k == Voluntary {
+		return "voluntary"
+	}
+	return "involuntary"
+}
+
+// CostDist describes the cost distribution of one switch class as a
+// minimum plus a Weibull-distributed excess. Min, Median and Mean are
+// in microseconds and match the paper's Table in §6.1:
+//
+//	voluntary:   min 11.5, median 18.3, mean 20.7 µs
+//	involuntary: min 16.9, median 28.2, mean 35.0 µs
+//
+// The Weibull shape is solved at construction so that both the median
+// and the mean of the modelled distribution equal the paper's.
+type CostDist struct {
+	Min, Median, Mean float64 // microseconds
+
+	shape, scale float64 // derived Weibull parameters for the excess
+}
+
+// calibrate solves for the Weibull shape k such that
+// median/mean of the excess distribution equals
+// (Median-Min)/(Mean-Min), then sets the scale to hit the mean.
+// The ratio for Weibull is (ln 2)^(1/k) / Gamma(1+1/k), monotonic in
+// k over the region of interest, so bisection converges quickly.
+func (c *CostDist) calibrate() {
+	em := c.Median - c.Min
+	eu := c.Mean - c.Min
+	if em <= 0 || eu <= 0 {
+		// Degenerate: constant cost.
+		c.shape, c.scale = 1, 0
+		return
+	}
+	target := em / eu
+	ratio := func(k float64) float64 {
+		return math.Pow(math.Ln2, 1/k) / math.Gamma(1+1/k)
+	}
+	lo, hi := 0.2, 8.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if ratio(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	c.shape = (lo + hi) / 2
+	c.scale = eu / math.Gamma(1+1/c.shape)
+}
+
+// SwitchCosts is the context-switch cost model for a simulation run.
+type SwitchCosts struct {
+	// Deterministic, when true, charges exactly the Mean cost for
+	// every switch. Schedule-shape experiments (Figures 3-5) use this
+	// so traces are bit-for-bit reproducible; the §6.1 experiment
+	// uses the stochastic model.
+	Deterministic bool
+
+	Vol, Invol CostDist
+
+	// CacheRefillUS models §5.6's second-order preemption cost:
+	// "Besides the context switch overhead, the cache state may also
+	// be lost." It is charged when a task resumes after an
+	// *involuntary* preemption — a task that yielded at a safe point
+	// ("the application writer controls what information is in the
+	// caches") resumes warm. Zero disables the model.
+	CacheRefillUS float64
+}
+
+// PaperSwitchCosts returns the cost model calibrated to §6.1.
+func PaperSwitchCosts() SwitchCosts {
+	sc := SwitchCosts{
+		Vol:   CostDist{Min: 11.5, Median: 18.3, Mean: 20.7},
+		Invol: CostDist{Min: 16.9, Median: 28.2, Mean: 35.0},
+	}
+	sc.Vol.calibrate()
+	sc.Invol.calibrate()
+	return sc
+}
+
+// ZeroSwitchCosts returns a model in which context switches are free.
+// Property tests use it so that invariants can be checked against the
+// pure EDF arithmetic without cost noise.
+func ZeroSwitchCosts() SwitchCosts {
+	return SwitchCosts{Deterministic: true}
+}
+
+// Sample draws the cost of one switch of the given kind, in ticks.
+func (s *SwitchCosts) Sample(kind SwitchKind, rng *RNG) ticks.Ticks {
+	d := &s.Vol
+	if kind == Involuntary {
+		d = &s.Invol
+	}
+	if s.Deterministic {
+		return usToTicks(d.Mean)
+	}
+	us := d.Min + rng.Weibull(d.shape, d.scale)
+	return usToTicks(us)
+}
+
+// CacheRefill reports the cold-cache penalty in ticks.
+func (s *SwitchCosts) CacheRefill() ticks.Ticks {
+	if s.CacheRefillUS <= 0 {
+		return 0
+	}
+	return usToTicks(s.CacheRefillUS)
+}
+
+func usToTicks(us float64) ticks.Ticks {
+	return ticks.Ticks(math.Round(us * float64(ticks.PerMicrosecond)))
+}

@@ -1,0 +1,108 @@
+// Package sim is the discrete-event, virtual-time substrate on which
+// the ETI Resource Distributor runs in this reproduction.
+//
+// The paper's own evaluation (§6) was "acquired on a cycle-accurate
+// simulator" of the MAP1000; this package plays that role. It provides
+// a virtual clock in 27 MHz ticks, a deterministic event queue, a
+// parameterised context-switch cost model matching §6.1, and CPU
+// accounting. The scheduling logic itself lives in internal/sched and
+// is exactly the paper's algorithm; sim only answers "what time is it,
+// how long did that context switch take, and what happens next".
+package sim
+
+import (
+	"container/heap"
+
+	"repro/internal/ticks"
+)
+
+// Event is a scheduled callback in virtual time.
+type Event struct {
+	At ticks.Ticks // virtual time at which the event fires
+	Fn func()      // callback; runs with the clock set to At
+
+	seq   uint64 // tie-break: FIFO among events at the same instant
+	index int    // heap index; -1 when not queued
+}
+
+// EventQueue is a deterministic min-heap of events ordered by time,
+// with FIFO ordering among simultaneous events. The zero value is
+// ready to use.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Push schedules fn at time at and returns the event handle, which
+// can later be passed to Cancel.
+func (q *EventQueue) Push(at ticks.Ticks, fn func()) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.seq, index: -1}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes e from the queue if it is still pending.
+// Cancelling an already-fired or already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// PeekTime returns the time of the earliest pending event.
+// The second result is false if the queue is empty.
+func (q *EventQueue) PeekTime() (ticks.Ticks, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Pop removes and returns the earliest pending event, or nil if the
+// queue is empty. The caller is responsible for invoking e.Fn.
+func (q *EventQueue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.h).(*Event)
+	e.index = -1
+	return e
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

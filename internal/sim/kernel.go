@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ticks"
+)
+
+// Kernel is the virtual machine a Resource Distributor instance runs
+// on: a clock, an event queue, a PRNG, the switch-cost model, and
+// global counters. It is single-goroutine by design — determinism is
+// the point — so it needs no locking.
+type Kernel struct {
+	now    ticks.Ticks
+	events EventQueue
+	rng    *RNG
+	costs  SwitchCosts
+
+	// Counters.
+	volSwitches    int64
+	involSwitches  int64
+	switchTicks    ticks.Ticks
+	idleTicks      ticks.Ticks
+	busyTicks      ticks.Ticks
+	interruptTicks ticks.Ticks
+	interrupts     int64
+}
+
+// Config parameterises a Kernel.
+type Config struct {
+	// Seed for the deterministic PRNG. Zero selects a fixed default.
+	Seed uint64
+	// Costs is the context-switch cost model. The zero value means
+	// free, deterministic switches (ZeroSwitchCosts).
+	Costs SwitchCosts
+}
+
+// NewKernel returns a kernel at virtual time zero.
+func NewKernel(cfg Config) *Kernel {
+	return &Kernel{
+		rng:   NewRNG(cfg.Seed),
+		costs: cfg.Costs,
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() ticks.Ticks { return k.now }
+
+// RNG exposes the kernel's deterministic generator, for workload
+// models that need randomness tied to the run's seed.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// At schedules fn to run at virtual time at. Scheduling in the past
+// (before Now) panics: it would silently corrupt causality.
+func (k *Kernel) At(at ticks.Ticks, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", at, k.now))
+	}
+	return k.events.Push(at, fn)
+}
+
+// After schedules fn to run d ticks from now.
+func (k *Kernel) After(d ticks.Ticks, fn func()) *Event {
+	return k.At(k.now+d, fn)
+}
+
+// Cancel cancels a pending event.
+func (k *Kernel) Cancel(e *Event) { k.events.Cancel(e) }
+
+// NextEventTime reports when the next pending event fires.
+func (k *Kernel) NextEventTime() (ticks.Ticks, bool) { return k.events.PeekTime() }
+
+// Step runs the single earliest pending event, advancing the clock to
+// its time. It reports false if no events are pending.
+func (k *Kernel) Step() bool {
+	e := k.events.Pop()
+	if e == nil {
+		return false
+	}
+	k.now = e.At
+	e.Fn()
+	return true
+}
+
+// RunUntil processes events until the clock reaches or passes limit,
+// or the queue drains. The clock is left at min(limit, last event
+// time); it is advanced to limit if the queue drains earlier so that
+// callers can account trailing idle time.
+func (k *Kernel) RunUntil(limit ticks.Ticks) {
+	for {
+		at, ok := k.events.PeekTime()
+		if !ok || at > limit {
+			break
+		}
+		k.Step()
+	}
+	if k.now < limit {
+		k.now = limit
+	}
+}
+
+// Advance moves the clock forward by d without processing events.
+// The scheduler uses it to model a task occupying the CPU for a span
+// it has already decided is free of scheduling events. Advancing past
+// a pending event panics — that would reorder causality.
+func (k *Kernel) Advance(d ticks.Ticks) {
+	if d < 0 {
+		panic("sim: Advance with negative duration")
+	}
+	target := k.now + d
+	if at, ok := k.events.PeekTime(); ok && at < target {
+		panic(fmt.Sprintf("sim: Advance(%v) would skip event at %v (now %v)", d, at, k.now))
+	}
+	k.now = target
+}
+
+// AdvanceThrough moves the clock forward by d, firing any events whose
+// time falls inside the window. Context-switch cost spans use this:
+// the CPU is busy in the kernel, but timers and external events still
+// fire at their scheduled instants.
+func (k *Kernel) AdvanceThrough(d ticks.Ticks) {
+	if d < 0 {
+		panic("sim: AdvanceThrough with negative duration")
+	}
+	k.RunUntil(k.now + d)
+}
+
+// ChargeSwitch samples a context-switch cost of the given kind,
+// advances the clock by it (firing any events that land inside the
+// switch), updates counters, and returns the cost.
+func (k *Kernel) ChargeSwitch(kind SwitchKind) ticks.Ticks {
+	c := k.costs.Sample(kind, k.rng)
+	if kind == Voluntary {
+		k.volSwitches++
+	} else {
+		k.involSwitches++
+	}
+	k.switchTicks += c
+	k.AdvanceThrough(c)
+	return c
+}
+
+// PeekSwitchCost samples a switch cost without advancing time or
+// counters; the §6.1 microbenchmark uses it to build distributions.
+func (k *Kernel) PeekSwitchCost(kind SwitchKind) ticks.Ticks {
+	return k.costs.Sample(kind, k.rng)
+}
+
+// CacheRefill reports the configured cold-cache resume penalty.
+func (k *Kernel) CacheRefill() ticks.Ticks { return k.costs.CacheRefill() }
+
+// AccountBusy records d ticks of useful task execution.
+func (k *Kernel) AccountBusy(d ticks.Ticks) { k.busyTicks += d }
+
+// AccountIdle records d ticks of idle CPU.
+func (k *Kernel) AccountIdle(d ticks.Ticks) { k.idleTicks += d }
+
+// RunInterrupt models an interrupt handler occupying the CPU for
+// service ticks (§5.2): the clock advances (firing any events that
+// land inside the window), the time is charged to no task, and the
+// interrupt counters are updated.
+func (k *Kernel) RunInterrupt(service ticks.Ticks) {
+	if service < 0 {
+		panic("sim: negative interrupt service time")
+	}
+	k.interrupts++
+	k.interruptTicks += service
+	k.AdvanceThrough(service)
+}
+
+// Stats is a snapshot of the kernel's global counters.
+type Stats struct {
+	Now            ticks.Ticks
+	VolSwitches    int64
+	InvolSwitches  int64
+	SwitchTicks    ticks.Ticks
+	IdleTicks      ticks.Ticks
+	BusyTicks      ticks.Ticks
+	InterruptTicks ticks.Ticks
+	Interrupts     int64
+}
+
+// Stats returns a snapshot of the counters.
+func (k *Kernel) Stats() Stats {
+	return Stats{
+		Now:            k.now,
+		VolSwitches:    k.volSwitches,
+		InvolSwitches:  k.involSwitches,
+		SwitchTicks:    k.switchTicks,
+		IdleTicks:      k.idleTicks,
+		BusyTicks:      k.busyTicks,
+		InterruptTicks: k.interruptTicks,
+		Interrupts:     k.interrupts,
+	}
+}
+
+// InterruptLoadFraction reports interrupt handler time as a fraction
+// of elapsed virtual time, to compare against the §5.2 reserve.
+func (s Stats) InterruptLoadFraction() float64 {
+	if s.Now == 0 {
+		return 0
+	}
+	return float64(s.InterruptTicks) / float64(s.Now)
+}
+
+// SwitchOverheadFraction reports context-switch ticks as a fraction
+// of elapsed virtual time — the quantity behind the paper's "about
+// 0.7% of the CPU" figure (§6.1).
+func (s Stats) SwitchOverheadFraction() float64 {
+	if s.Now == 0 {
+		return 0
+	}
+	return float64(s.SwitchTicks) / float64(s.Now)
+}
+
+// Utilization reports busy ticks as a fraction of elapsed time.
+func (s Stats) Utilization() float64 {
+	if s.Now == 0 {
+		return 0
+	}
+	return float64(s.BusyTicks) / float64(s.Now)
+}

@@ -1,0 +1,72 @@
+package sim
+
+import "math"
+
+// RNG is a small, deterministic pseudo-random generator
+// (xorshift64*, Vigna 2016 parameters). We use our own rather than
+// math/rand so that simulation runs are reproducible across Go
+// releases: math/rand's stream is not guaranteed stable between
+// versions, and EXPERIMENTS.md records exact simulated numbers.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is
+// remapped to a fixed non-zero constant (xorshift requires non-zero
+// state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Weibull samples a Weibull(shape k, scale lambda) variate.
+// Weibull is used by the switch-cost model because its median/mean
+// ratio is tunable through k, letting us calibrate simultaneously to
+// the paper's reported median and mean (§6.1).
+func (r *RNG) Weibull(k, lambda float64) float64 {
+	u := r.Float64()
+	// Inverse CDF: lambda * (-ln(1-u))^(1/k).
+	return lambda * math.Pow(-math.Log1p(-u), 1/k)
+}
+
+// Exp samples an exponential variate with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	return -mean * math.Log1p(-r.Float64())
+}
+
+// Norm samples a normal variate via Box-Muller (one value per call;
+// the spare is discarded to keep the stream position predictable).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}

@@ -1,0 +1,210 @@
+// Package streamer models the MAP1000's Data Streamer: "a
+// programmable, multi-ported DMA engine" that moves data between
+// memory and devices concurrently with VLIW execution (§1, Figure 1).
+//
+// The Resource Distributor meters Streamer bandwidth through resource
+// lists (task.Entry.StreamerMBps, see internal/resource); this
+// package is the engine those numbers meter. Tasks open channels at
+// their granted rate and submit transfers; completions land as
+// virtual-time events. When a grant change re-rates a channel,
+// in-flight transfers finish at the new rate — the DMA analogue of a
+// CPU grant changing at a period boundary.
+//
+// Bandwidth accounting is per-channel and deliberately simple: each
+// channel moves data at its own granted rate, independent of the
+// others (the hardware is multi-ported; admission has already
+// ensured the rates sum within the part's capacity).
+package streamer
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/ticks"
+)
+
+// Engine is a Data Streamer instance.
+type Engine struct {
+	k         *sim.Kernel
+	totalMBps int64
+	allocated int64
+	channels  map[string]*Channel
+}
+
+// ErrBandwidth is returned when channel rates would exceed capacity.
+var ErrBandwidth = errors.New("streamer: bandwidth capacity exceeded")
+
+// New builds an engine with the given total bandwidth in MB/s.
+func New(k *sim.Kernel, totalMBps int64) *Engine {
+	if totalMBps <= 0 {
+		panic("streamer: need positive capacity")
+	}
+	return &Engine{k: k, totalMBps: totalMBps, channels: make(map[string]*Channel)}
+}
+
+// Capacity reports total and allocated bandwidth.
+func (e *Engine) Capacity() (total, allocated int64) { return e.totalMBps, e.allocated }
+
+// Open creates a channel at the given rate. Rates are reserved:
+// opening fails if the sum would exceed capacity.
+func (e *Engine) Open(name string, mbps int64) (*Channel, error) {
+	if mbps <= 0 {
+		return nil, fmt.Errorf("streamer: channel %q needs a positive rate", name)
+	}
+	if _, dup := e.channels[name]; dup {
+		return nil, fmt.Errorf("streamer: channel %q already open", name)
+	}
+	if e.allocated+mbps > e.totalMBps {
+		return nil, fmt.Errorf("%w: %d + %d > %d MB/s", ErrBandwidth, e.allocated, mbps, e.totalMBps)
+	}
+	c := &Channel{engine: e, name: name, mbps: mbps}
+	e.channels[name] = c
+	e.allocated += mbps
+	return c, nil
+}
+
+// Channel is one DMA channel with a reserved rate.
+type Channel struct {
+	engine *Engine
+	name   string
+	mbps   int64
+	closed bool
+
+	// In-flight transfer, if any (channels are FIFO: one transfer
+	// moves at a time per channel; more queue behind it).
+	queue []*Transfer
+
+	stats ChannelStats
+}
+
+// ChannelStats is per-channel accounting.
+type ChannelStats struct {
+	Transfers int64
+	Bytes     int64
+	BusyTicks ticks.Ticks
+}
+
+// Transfer is one queued DMA operation.
+type Transfer struct {
+	bytes     int64
+	remaining int64 // bytes still to move
+	onDone    func()
+	event     *sim.Event
+	started   ticks.Ticks
+	ch        *Channel
+}
+
+// Name reports the channel name.
+func (c *Channel) Name() string { return c.name }
+
+// Rate reports the channel's current rate in MB/s.
+func (c *Channel) Rate() int64 { return c.mbps }
+
+// Stats reports the channel accounting.
+func (c *Channel) Stats() ChannelStats { return c.stats }
+
+// QueueLen reports queued transfers, including the in-flight one.
+func (c *Channel) QueueLen() int { return len(c.queue) }
+
+// ticksFor converts bytes at mbps (1 MB/s = 1e6 bytes/s) to ticks.
+func ticksFor(bytes, mbps int64) ticks.Ticks {
+	if bytes <= 0 {
+		return 0
+	}
+	// ticks = bytes / (mbps*1e6 B/s) * 27e6 ticks/s = bytes*27/mbps.
+	t := (bytes*27 + mbps - 1) / mbps
+	if t < 1 {
+		t = 1
+	}
+	return ticks.Ticks(t)
+}
+
+// Submit queues a transfer of the given size; onDone fires in virtual
+// time when the last byte lands. Returns an error on a closed
+// channel or non-positive size.
+func (c *Channel) Submit(bytes int64, onDone func()) error {
+	if c.closed {
+		return fmt.Errorf("streamer: channel %q is closed", c.name)
+	}
+	if bytes <= 0 {
+		return fmt.Errorf("streamer: transfer needs positive size, got %d", bytes)
+	}
+	t := &Transfer{bytes: bytes, remaining: bytes, onDone: onDone, ch: c}
+	c.queue = append(c.queue, t)
+	if len(c.queue) == 1 {
+		c.start(t)
+	}
+	return nil
+}
+
+func (c *Channel) start(t *Transfer) {
+	t.started = c.engine.k.Now()
+	d := ticksFor(t.remaining, c.mbps)
+	t.event = c.engine.k.After(d, func() { c.complete(t) })
+}
+
+func (c *Channel) complete(t *Transfer) {
+	now := c.engine.k.Now()
+	c.stats.Transfers++
+	c.stats.Bytes += t.bytes
+	c.stats.BusyTicks += now - t.started
+	c.queue = c.queue[1:]
+	if len(c.queue) > 0 {
+		c.start(c.queue[0])
+	}
+	if t.onDone != nil {
+		t.onDone()
+	}
+}
+
+// SetRate re-rates the channel (a grant change). The in-flight
+// transfer's remaining bytes finish at the new rate; queued transfers
+// inherit it. The reservation against engine capacity is adjusted;
+// increases can fail.
+func (c *Channel) SetRate(mbps int64) error {
+	if c.closed {
+		return fmt.Errorf("streamer: channel %q is closed", c.name)
+	}
+	if mbps <= 0 {
+		return fmt.Errorf("streamer: rate must be positive, got %d", mbps)
+	}
+	delta := mbps - c.mbps
+	if delta > 0 && c.engine.allocated+delta > c.engine.totalMBps {
+		return fmt.Errorf("%w: re-rate %q to %d MB/s", ErrBandwidth, c.name, mbps)
+	}
+	if len(c.queue) > 0 {
+		t := c.queue[0]
+		// Account progress at the old rate, then restart the rest.
+		now := c.engine.k.Now()
+		elapsed := now - t.started
+		moved := int64(elapsed) * c.mbps / 27
+		if moved > t.remaining {
+			moved = t.remaining
+		}
+		t.remaining -= moved
+		c.stats.BusyTicks += elapsed
+		c.engine.k.Cancel(t.event)
+		c.mbps = mbps
+		c.start(t)
+	} else {
+		c.mbps = mbps
+	}
+	c.engine.allocated += delta
+	return nil
+}
+
+// Close releases the channel's reservation. Queued transfers are
+// dropped without completion callbacks.
+func (c *Channel) Close() {
+	if c.closed {
+		return
+	}
+	if len(c.queue) > 0 && c.queue[0].event != nil {
+		c.engine.k.Cancel(c.queue[0].event)
+	}
+	c.queue = nil
+	c.closed = true
+	c.engine.allocated -= c.mbps
+	delete(c.engine.channels, c.name)
+}

@@ -1,0 +1,309 @@
+// Package ticks provides the 27 MHz time base used throughout the ETI
+// Resource Distributor.
+//
+// The paper (§4.1) specifies that periods and CPU requirements in a
+// resource list are expressed in units of 27 MHz ticks: the rate of the
+// MPEG TCI transport clock. One tick is therefore 1/27,000,000 of a
+// second (~37 ns). The MAP1000 core runs at 200 MHz, so one tick spans
+// 200/27 core cycles.
+//
+// All scheduler arithmetic in this repository is integer arithmetic on
+// Ticks so that simulations are exactly reproducible.
+package ticks
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Ticks is a duration or instant measured in 27 MHz clock ticks.
+// As an instant it counts ticks since the start of the simulation.
+type Ticks int64
+
+// Clock rates on the MAP1000.
+const (
+	// PerSecond is the tick rate: 27,000,000 ticks per second.
+	PerSecond Ticks = 27_000_000
+
+	// PerMillisecond is the number of ticks in one millisecond.
+	PerMillisecond Ticks = PerSecond / 1_000
+
+	// PerMicrosecond is the number of ticks in one microsecond.
+	PerMicrosecond Ticks = PerSecond / 1_000_000
+
+	// CoreHz is the MAP1000 core clock rate in Hz (200 MHz).
+	CoreHz int64 = 200_000_000
+
+	// CoreCyclesPerTick is how many 200 MHz core cycles elapse in
+	// one 27 MHz tick, times the denominator CoreCyclesDenom.
+	// 200e6/27e6 = 200/27, kept as a ratio for exact arithmetic.
+	CoreCyclesNum   int64 = 200
+	CoreCyclesDenom int64 = 27
+)
+
+// Period bounds from §4.1: "The minimum period is 500 µSec, and the
+// maximum is 159 seconds."
+const (
+	// MinPeriod is the smallest admissible resource-list period.
+	MinPeriod Ticks = 500 * PerMicrosecond // 13,500 ticks
+
+	// MaxPeriod is the largest admissible resource-list period.
+	MaxPeriod Ticks = 159 * PerSecond
+)
+
+// FromDuration converts a time.Duration to Ticks, rounding to nearest.
+func FromDuration(d time.Duration) Ticks {
+	// Split to avoid overflow: d.Nanoseconds()*27 fits in int64 for
+	// durations under ~10.8 years, far beyond MaxPeriod.
+	ns := d.Nanoseconds()
+	return Ticks((ns*27 + 500) / 1000)
+}
+
+// FromMicroseconds converts microseconds to Ticks exactly.
+func FromMicroseconds(us int64) Ticks { return Ticks(us) * PerMicrosecond }
+
+// FromMilliseconds converts milliseconds to Ticks exactly.
+func FromMilliseconds(ms int64) Ticks { return Ticks(ms) * PerMillisecond }
+
+// FromSeconds converts whole seconds to Ticks exactly.
+func FromSeconds(s int64) Ticks { return Ticks(s) * PerSecond }
+
+// Duration converts t to a time.Duration, rounding to nearest ns.
+func (t Ticks) Duration() time.Duration {
+	ns := (int64(t)*1000 + 13) / 27 // 1000/27 ns per tick, rounded
+	return time.Duration(ns)
+}
+
+// Microseconds reports t in microseconds, rounded to nearest.
+func (t Ticks) Microseconds() int64 {
+	return (int64(t) + int64(PerMicrosecond)/2) / int64(PerMicrosecond)
+}
+
+// MicrosecondsF reports t in microseconds as a float.
+func (t Ticks) MicrosecondsF() float64 {
+	return float64(t) / float64(PerMicrosecond)
+}
+
+// Milliseconds reports t in milliseconds, rounded to nearest.
+func (t Ticks) Milliseconds() int64 {
+	return (int64(t) + int64(PerMillisecond)/2) / int64(PerMillisecond)
+}
+
+// MillisecondsF reports t in milliseconds as a float.
+func (t Ticks) MillisecondsF() float64 {
+	return float64(t) / float64(PerMillisecond)
+}
+
+// Seconds reports t in seconds as a float.
+func (t Ticks) Seconds() float64 { return float64(t) / float64(PerSecond) }
+
+// CoreCycles reports how many 200 MHz core cycles elapse in t ticks,
+// rounded to nearest.
+func (t Ticks) CoreCycles() int64 {
+	return (int64(t)*CoreCyclesNum + CoreCyclesDenom/2) / CoreCyclesDenom
+}
+
+// FromCoreCycles converts 200 MHz core cycles to Ticks, rounding to
+// nearest.
+func FromCoreCycles(cycles int64) Ticks {
+	return Ticks((cycles*CoreCyclesDenom + CoreCyclesNum/2) / CoreCyclesNum)
+}
+
+// String renders t with an adaptive unit for human-readable traces.
+func (t Ticks) String() string {
+	switch {
+	case t == 0:
+		return "0t"
+	case t%PerSecond == 0:
+		return fmt.Sprintf("%ds", int64(t/PerSecond))
+	case t%PerMillisecond == 0:
+		return fmt.Sprintf("%dms", int64(t/PerMillisecond))
+	case t%PerMicrosecond == 0:
+		return fmt.Sprintf("%dus", int64(t/PerMicrosecond))
+	default:
+		return fmt.Sprintf("%dt", int64(t))
+	}
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Ticks) Ticks {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Ticks) Ticks {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Rate is a dimensionless CPU fraction (CPU requirement / period),
+// the quantity the paper's "Rate (computed)" column reports.
+// It is stored as a float for reporting but all admission arithmetic
+// uses the exact Frac form below.
+type Rate float64
+
+// RateOf computes cpu/period as a Rate. It panics if period <= 0,
+// since a non-positive period is a programming error everywhere in
+// this codebase (resource lists are validated at construction).
+func RateOf(cpu, period Ticks) Rate {
+	if period <= 0 {
+		panic("ticks: RateOf with non-positive period")
+	}
+	return Rate(float64(cpu) / float64(period))
+}
+
+// Percent reports the rate as a percentage.
+func (r Rate) Percent() float64 { return float64(r) * 100 }
+
+// String renders the rate as the paper's tables do, e.g. "33.3 %".
+func (r Rate) String() string { return fmt.Sprintf("%.1f%%", r.Percent()) }
+
+// Frac is an exact rational CPU fraction used for admission-control
+// sums, avoiding float rounding at the admission boundary. The
+// denominator is always positive.
+type Frac struct {
+	Num, Den int64
+}
+
+// FracOf returns the exact fraction cpu/period in lowest terms.
+func FracOf(cpu, period Ticks) Frac {
+	if period <= 0 {
+		panic("ticks: FracOf with non-positive period")
+	}
+	f := Frac{int64(cpu), int64(period)}
+	return f.reduce()
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func (f Frac) reduce() Frac {
+	if f.Den == 0 {
+		// Normalize the zero value Frac{} to the zero fraction so an
+		// uninitialised accumulator behaves like FracZero.
+		return Frac{0, 1}
+	}
+	g := gcd(f.Num, f.Den)
+	return Frac{f.Num / g, f.Den / g}
+}
+
+// Add returns f+g exactly, falling back to float-free big-step
+// reduction. Overflow is avoided by reducing before multiplying;
+// admission sums involve at most a few dozen terms with denominators
+// bounded by MaxPeriod, which fits comfortably in int64 after
+// reduction for realistic task sets. If the intermediate product
+// would overflow, Add falls back to a common-denominator of the
+// reduced terms scaled into a 1e12 fixed-point grid, which is more
+// than enough resolution for admission (1 part in 10^12).
+func (f Frac) Add(g Frac) Frac {
+	f, g = f.reduce(), g.reduce()
+	// Try exact cross-multiplication.
+	if n1, ok1 := mulOK(f.Num, g.Den); ok1 {
+		if n2, ok2 := mulOK(g.Num, f.Den); ok2 {
+			if d, ok3 := mulOK(f.Den, g.Den); ok3 {
+				s, ok4 := addOK(n1, n2)
+				if ok4 {
+					return Frac{s, d}.reduce()
+				}
+			}
+		}
+	}
+	// Fixed-point fallback.
+	const grid = 1_000_000_000_000
+	fn := fixedPoint(f, grid)
+	gn := fixedPoint(g, grid)
+	return Frac{fn + gn, grid}.reduce()
+}
+
+// Sub returns f-g exactly (with the same fallback as Add).
+func (f Frac) Sub(g Frac) Frac { return f.Add(Frac{-g.Num, g.Den}) }
+
+func fixedPoint(f Frac, grid int64) int64 {
+	// round(f.Num/f.Den * grid)
+	q := f.Num / f.Den
+	r := f.Num % f.Den
+	if p, ok := mulOK(r, grid); ok {
+		// Round half away from zero, symmetrically, so that
+		// fixedPoint(-f) == -fixedPoint(f) and Sub stays the exact
+		// negation of Add.
+		h := f.Den / 2
+		if p < 0 {
+			return q*grid + (p-h)/f.Den
+		}
+		return q*grid + (p+h)/f.Den
+	}
+	// Denominator too large for exact scaling: round in floating
+	// point. math.Round is symmetric, so Sub stays the exact negation
+	// of Add and comparisons remain consistent.
+	return q*grid + int64(math.Round(float64(r)/float64(f.Den)*float64(grid)))
+}
+
+func mulOK(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+func addOK(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+// Cmp compares f to g: -1 if f<g, 0 if equal, +1 if f>g.
+func (f Frac) Cmp(g Frac) int {
+	d := f.Sub(g)
+	switch {
+	case d.Num < 0:
+		return -1
+	case d.Num > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// LessOrEqual reports whether f <= g.
+func (f Frac) LessOrEqual(g Frac) bool { return f.Cmp(g) <= 0 }
+
+// Float reports f as a float64.
+func (f Frac) Float() float64 { return float64(f.Num) / float64(f.Den) }
+
+// Rate converts f to a reporting Rate.
+func (f Frac) Rate() Rate { return Rate(f.Float()) }
+
+// FracZero is the zero fraction.
+var FracZero = Frac{0, 1}
+
+// FracOne is the fraction 1 (100 % of the CPU).
+var FracOne = Frac{1, 1}
+
+// FracPercent returns p% as a Frac, e.g. FracPercent(4) = 1/25.
+func FracPercent(p int64) Frac { return Frac{p, 100}.reduce() }
+
+// IsNaNRate reports whether a computed Rate is invalid. Used by
+// validation paths that accept externally supplied floats.
+func IsNaNRate(r Rate) bool { return math.IsNaN(float64(r)) }

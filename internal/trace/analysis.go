@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// Report is the offline analysis of an exported run: the numbers an
+// experimenter wants from a trace without re-running the simulator.
+type Report struct {
+	Tasks []TaskReport
+	// Span is the trace extent (latest slice or period edge).
+	Span ticks.Ticks
+	// Misses is the total audited deadline misses.
+	Misses int
+}
+
+// TaskReport is one task's analysis.
+type TaskReport struct {
+	ID   task.ID
+	Name string
+
+	Periods       int
+	GrantedTicks  ticks.Ticks
+	OvertimeTicks ticks.Ticks
+	Preemptions   int // granted slices beyond the first, per period, summed
+
+	// WorstLatency is the largest gap between consecutive
+	// granted-work completions — bounded by 2·period − 2·CPU (§4.2)
+	// for a task that consumes its grant every period. LatencyP50 and
+	// LatencyP99 are the median and 99th-percentile gaps.
+	WorstLatency ticks.Ticks
+	LatencyP50   ticks.Ticks
+	LatencyP99   ticks.Ticks
+
+	// Levels seen, ascending (which QOS levels the task ran at).
+	Levels []int
+}
+
+// Analyze computes a Report from an Export.
+func Analyze(e Export) Report {
+	var rep Report
+	byID := make(map[task.ID]*TaskReport)
+	order := []task.ID{}
+	for _, t := range e.Tasks {
+		tr := &TaskReport{ID: t.ID, Name: t.Name}
+		byID[t.ID] = tr
+		order = append(order, t.ID)
+	}
+
+	// Period starts per task, sorted, for period counting and level
+	// tracking.
+	starts := make(map[task.ID][]ExportPeriod)
+	for _, p := range e.Periods {
+		starts[p.ID] = append(starts[p.ID], p)
+		if tr, ok := byID[p.ID]; ok {
+			tr.Periods++
+			if !containsInt(tr.Levels, p.Level) {
+				tr.Levels = append(tr.Levels, p.Level)
+			}
+		}
+		if t := ticks.Ticks(p.Deadline); t > rep.Span {
+			rep.Span = t
+		}
+	}
+
+	// Slice accounting: granted/overtime ticks, preemption counts,
+	// and per-period last-granted-slice ends for latency.
+	type sliceInfo struct {
+		end ticks.Ticks
+	}
+	lastGrantEnd := make(map[task.ID][]ticks.Ticks) // completion per period
+	curCount := make(map[task.ID]int)
+	periodIdx := make(map[task.ID]int)
+	for _, s := range e.Slices {
+		tr, ok := byID[s.ID]
+		if !ok {
+			continue
+		}
+		if t := ticks.Ticks(s.To); t > rep.Span {
+			rep.Span = t
+		}
+		switch s.Kind {
+		case "granted", "grace":
+			tr.GrantedTicks += ticks.Ticks(s.To - s.From)
+			// Which period does this slice belong to? Advance the
+			// pointer while the next period starts at or before the
+			// slice start.
+			ps := starts[s.ID]
+			for periodIdx[s.ID]+1 < len(ps) && ticks.Ticks(ps[periodIdx[s.ID]+1].Start) <= ticks.Ticks(s.From) {
+				periodIdx[s.ID]++
+				curCount[s.ID] = 0
+			}
+			curCount[s.ID]++
+			if curCount[s.ID] > 1 {
+				tr.Preemptions++
+			}
+			idx := periodIdx[s.ID]
+			for len(lastGrantEnd[s.ID]) <= idx {
+				lastGrantEnd[s.ID] = append(lastGrantEnd[s.ID], 0)
+			}
+			lastGrantEnd[s.ID][idx] = ticks.Ticks(s.To)
+		case "overtime", "sporadic":
+			tr.OvertimeTicks += ticks.Ticks(s.To - s.From)
+		}
+	}
+
+	// Latency distribution of consecutive completions.
+	for id, ends := range lastGrantEnd {
+		tr := byID[id]
+		var gaps []ticks.Ticks
+		var prev ticks.Ticks = -1
+		for _, end := range ends {
+			if end == 0 {
+				continue
+			}
+			if prev >= 0 {
+				gaps = append(gaps, end-prev)
+			}
+			prev = end
+		}
+		if len(gaps) == 0 {
+			continue
+		}
+		sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+		tr.WorstLatency = gaps[len(gaps)-1]
+		tr.LatencyP50 = gaps[len(gaps)/2]
+		p99 := (len(gaps)*99 + 99) / 100
+		if p99 > len(gaps) {
+			p99 = len(gaps)
+		}
+		tr.LatencyP99 = gaps[p99-1]
+	}
+
+	rep.Misses = len(e.Misses)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		tr := byID[id]
+		sort.Ints(tr.Levels)
+		rep.Tasks = append(rep.Tasks, *tr)
+	}
+	return rep
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the report as a table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace span %v, %d deadline misses\n", r.Span, r.Misses)
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s %8s %10s %10s %10s %s\n",
+		"task", "periods", "granted", "overtime", "preempt", "lat-p50", "lat-p99", "lat-max", "levels")
+	for _, t := range r.Tasks {
+		fmt.Fprintf(&b, "%-12s %8d %10v %10v %8d %10v %10v %10v %v\n",
+			t.Name, t.Periods, t.GrantedTicks, t.OvertimeTicks,
+			t.Preemptions, t.LatencyP50, t.LatencyP99, t.WorstLatency, t.Levels)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// runForAnalysis drives a two-task schedule for a second and returns
+// its analysis.
+func runForAnalysis(t *testing.T, rec *Recorder) Report {
+	t.Helper()
+	zero := sim.ZeroSwitchCosts()
+	d := core.New(core.Config{SwitchCosts: &zero, Observer: rec})
+	if _, err := d.RequestAdmittance(&task.Task{
+		Name: "short", List: task.SingleLevel(10*ms, 5*ms, "S"), Body: task.PeriodicWork(5 * ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RequestAdmittance(&task.Task{
+		Name: "long", List: task.SingleLevel(30*ms, 10*ms, "L"), Body: task.PeriodicWork(10 * ms),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(ticks.PerSecond)
+	return Analyze(rec.Export())
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	r := New()
+	// Task 1: two periods, preempted in the second.
+	r.OnPeriodStart(1, 0, 10*ms, 0, 3*ms)
+	r.OnDispatch(1, "a", 0, 3*ms, sched.DispatchGranted, 0)
+	r.OnPeriodStart(1, 10*ms, 20*ms, 1, 2*ms)
+	r.OnDispatch(1, "a", 10*ms, 11*ms, sched.DispatchGranted, 1)
+	r.OnDispatch(1, "a", 15*ms, 16*ms, sched.DispatchGranted, 1)
+	r.OnDispatch(1, "a", 16*ms, 18*ms, sched.DispatchOvertime, 1)
+	// Task 2: one period, clean.
+	r.OnPeriodStart(2, 0, 20*ms, 0, 5*ms)
+	r.OnDispatch(2, "b", 3*ms, 8*ms, sched.DispatchGranted, 0)
+
+	rep := Analyze(r.Export())
+	if len(rep.Tasks) != 2 {
+		t.Fatalf("tasks = %d", len(rep.Tasks))
+	}
+	a := rep.Tasks[0]
+	if a.Periods != 2 || a.GrantedTicks != 5*ms || a.OvertimeTicks != 2*ms {
+		t.Errorf("a = %+v", a)
+	}
+	if a.Preemptions != 1 {
+		t.Errorf("a preemptions = %d, want 1 (two granted slices in period 2)", a.Preemptions)
+	}
+	// Completions at 3ms and 16ms: worst latency 13ms.
+	if a.WorstLatency != 13*ms {
+		t.Errorf("a worst latency = %v, want 13ms", a.WorstLatency)
+	}
+	if len(a.Levels) != 2 || a.Levels[0] != 0 || a.Levels[1] != 1 {
+		t.Errorf("a levels = %v", a.Levels)
+	}
+	b := rep.Tasks[1]
+	if b.Preemptions != 0 || b.GrantedTicks != 5*ms {
+		t.Errorf("b = %+v", b)
+	}
+	if rep.Span != 20*ms {
+		t.Errorf("span = %v, want 20ms", rep.Span)
+	}
+	if a.LatencyP50 != 13*ms || a.LatencyP99 != 13*ms {
+		t.Errorf("percentiles = %v/%v, want 13ms (single gap)", a.LatencyP50, a.LatencyP99)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "lat-max") {
+		t.Errorf("report:\n%s", s)
+	}
+}
+
+func TestAnalyzeLatencyBoundOnRealRun(t *testing.T) {
+	// End-to-end: analyze a real schedule and check the §4.2 bound
+	// 2·period − 2·CPU on the measured worst latency.
+	rec := New()
+	rep := runForAnalysis(t, rec)
+	for _, tr := range rep.Tasks {
+		var period, cpu ticks.Ticks
+		switch tr.Name {
+		case "short":
+			period, cpu = 10*ms, 5*ms
+		case "long":
+			period, cpu = 30*ms, 10*ms
+		default:
+			continue
+		}
+		bound := 2*period - 2*cpu
+		if tr.WorstLatency > bound {
+			t.Errorf("%s worst latency %v exceeds bound %v", tr.Name, tr.WorstLatency, bound)
+		}
+		if tr.WorstLatency == 0 {
+			t.Errorf("%s has no measured latency", tr.Name)
+		}
+	}
+	if rep.Misses != 0 {
+		t.Errorf("misses = %d", rep.Misses)
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestExportRoundTrip(t *testing.T) {
+	r := sampleRecorder()
+	r.OnDeadlineMiss(2, 9*ms, ms)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e Export
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(e.Tasks) != 2 || len(e.Slices) != 4 || len(e.Periods) != 1 {
+		t.Errorf("counts: tasks=%d slices=%d periods=%d", len(e.Tasks), len(e.Slices), len(e.Periods))
+	}
+	if e.Summary.MissCount != 1 || e.Summary.VolSwitches != 1 || e.Summary.InvolSwitches != 1 {
+		t.Errorf("summary = %+v", e.Summary)
+	}
+	if e.Summary.SwitchTicks != 300 {
+		t.Errorf("switch ticks = %d, want 300", e.Summary.SwitchTicks)
+	}
+	// Kinds serialize as strings.
+	if e.Slices[0].Kind != "granted" {
+		t.Errorf("kind = %q", e.Slices[0].Kind)
+	}
+}
+
+func TestExportEmptyRecorder(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e Export
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Summary.MissCount != 0 || len(e.Slices) != 0 {
+		t.Error("empty recorder should export empty run")
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// AC3 models the paper's AC3 audio decoder: "the AC3 audio task
+// requires about 12% of the core VLIW processor cycles" (§3.1). An
+// AC3 frame carries 32 ms of audio; the decoder therefore runs a
+// 32 ms period and needs 12% of each period's CPU. Audio is the
+// resource users are most sensitive to (§4.3), so the model has no
+// shed levels below intact decoding — only a mute level for the
+// direst policies — and counts every late frame as an audible
+// dropout ("clicks and pops").
+type AC3 struct {
+	stats    AC3Stats
+	pending  ticks.Ticks // work outstanding this period
+	started  bool
+	perFrame ticks.Ticks
+}
+
+// AC3Period is one AC3 frame time: 32 ms in 27 MHz ticks.
+const AC3Period ticks.Ticks = 32 * ticks.PerMillisecond
+
+// AC3Work is the per-frame decode cost: 12% of the period.
+const AC3Work ticks.Ticks = AC3Period * 12 / 100
+
+// AC3Stats counts decoded frames and audible dropouts.
+type AC3Stats struct {
+	Frames   int
+	Dropouts int
+}
+
+// QualityString summarises for experiment output.
+func (s AC3Stats) QualityString() string {
+	return fmt.Sprintf("frames=%d dropouts=%d", s.Frames, s.Dropouts)
+}
+
+// NewAC3 returns a fresh decoder.
+func NewAC3() *AC3 { return &AC3{perFrame: AC3Work} }
+
+// AC3List is the decoder's resource list: intact audio or a 1% mute
+// caretaker level (alarms must still click through, §4.3).
+func AC3List() task.ResourceList {
+	return task.ResourceList{
+		{Period: AC3Period, CPU: AC3Work, Fn: "DecodeAC3"},
+		{Period: AC3Period, CPU: AC3Period / 100, Fn: "MuteKeepAlive"},
+	}
+}
+
+// Task wraps the decoder for admission.
+func (a *AC3) Task() *task.Task {
+	return &task.Task{Name: "ac3", List: AC3List(), Body: a, Semantics: task.CallbackSemantics}
+}
+
+// Stats returns the quality accounting.
+func (a *AC3) Stats() AC3Stats { return a.stats }
+
+// Run implements task.Body.
+func (a *AC3) Run(ctx task.RunContext) task.RunResult {
+	if ctx.NewPeriod {
+		a.close()
+		if ctx.Level == 0 {
+			a.pending = a.perFrame
+		} else {
+			// Mute level: the caretaker work is negligible and the
+			// frame is a dropout by policy.
+			a.pending = 0
+			a.stats.Dropouts++
+		}
+		a.started = true
+	}
+	if a.pending <= 0 {
+		return task.RunResult{Op: task.OpYield, Completed: true}
+	}
+	if a.pending <= ctx.Span {
+		used := a.pending
+		a.pending = 0
+		a.stats.Frames++
+		return task.RunResult{Used: used, Op: task.OpYield, Completed: true}
+	}
+	a.pending -= ctx.Span
+	return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+}
+
+// close accounts an unfinished frame as a dropout.
+func (a *AC3) close() {
+	if a.started && a.pending > 0 {
+		a.stats.Dropouts++
+		a.pending = 0
+	}
+}
+
+// Flush finalises stats at the end of a run. A frame still in flight
+// when the horizon cuts the run short is not a dropout.
+func (a *AC3) Flush() { a.pending = 0 }

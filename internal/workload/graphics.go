@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// Graphics3D models the paper's 3D renderer (Table 3, §3.1 point 3's
+// counter-example): its work is a function of scene complexity, not
+// known far in advance, so it sheds load "simply by making less
+// progress on the same function" and uses return semantics across
+// periods (§5.5). Scene complexity follows a deterministic
+// pseudo-random walk seeded per instance.
+//
+// Table 3's two FFU-using entries are modelled with NeedsFFU so grant
+// changes across the FFU boundary force callback semantics (§5.5's
+// example); the model counts those cleanups.
+type Graphics3D struct {
+	stats G3DStats
+	rng   *sim.RNG
+
+	sceneLeft ticks.Ticks // work remaining on the current frame
+	scene     ticks.Ticks // total cost of the current frame
+	minScene  ticks.Ticks
+	maxScene  ticks.Ticks
+}
+
+// G3DStats counts rendered frames and grant-change cleanups.
+type G3DStats struct {
+	Frames       int
+	FFUCleanups  int // filter callbacks across the FFU boundary
+	SoftCleanups int // grant changes that kept return semantics
+}
+
+// QualityString summarises for experiment output.
+func (s G3DStats) QualityString() string {
+	return fmt.Sprintf("frames=%d ffu-cleanups=%d soft-changes=%d",
+		s.Frames, s.FFUCleanups, s.SoftCleanups)
+}
+
+// NewGraphics3D returns a renderer with scene costs uniform in
+// [18, 36] ms of CPU (roughly 0.7-1.3 frames per 100ms period at the
+// 80% level), seeded deterministically.
+func NewGraphics3D(seed uint64) *Graphics3D {
+	return &Graphics3D{
+		rng:      sim.NewRNG(seed),
+		minScene: 18 * ticks.PerMillisecond,
+		maxScene: 36 * ticks.PerMillisecond,
+	}
+}
+
+// Graphics3DList is Table 3 verbatim, with the two highest levels
+// marked as using the FFU video scaler (§5.5).
+func Graphics3DList() task.ResourceList {
+	return task.ResourceList{
+		{Period: 2_700_000, CPU: 2_160_000, Fn: "Render3DFrame", NeedsFFU: true},
+		{Period: 2_700_000, CPU: 1_080_000, Fn: "Render3DFrame", NeedsFFU: true},
+		{Period: 2_700_000, CPU: 540_000, Fn: "Render3DFrame"},
+		{Period: 2_700_000, CPU: 270_000, Fn: "Render3DFrame"},
+	}
+}
+
+// Task wraps the renderer for admission with return semantics.
+func (g *Graphics3D) Task() *task.Task {
+	return &task.Task{Name: "3d", List: Graphics3DList(), Body: g, Semantics: task.ReturnSemantics}
+}
+
+// Stats returns the accounting.
+func (g *Graphics3D) Stats() G3DStats { return g.stats }
+
+// FilterGrantChange implements task.Filter (§5.5): across an FFU
+// acquisition or loss the renderer needs a fresh callback after
+// cleanup; otherwise it picks up where it left off.
+func (g *Graphics3D) FilterGrantChange(oldLevel, newLevel int) task.Semantics {
+	oldFFU := Graphics3DList()[oldLevel].NeedsFFU
+	newFFU := Graphics3DList()[newLevel].NeedsFFU
+	if oldFFU != newFFU {
+		g.stats.FFUCleanups++
+		// Losing the scaler invalidates the in-flight frame setup.
+		g.sceneLeft = 0
+		return task.CallbackSemantics
+	}
+	g.stats.SoftCleanups++
+	return task.ReturnSemantics
+}
+
+// Run implements task.Body: render continuously, completing frames as
+// complexity allows.
+func (g *Graphics3D) Run(ctx task.RunContext) task.RunResult {
+	span := ctx.Span
+	var used ticks.Ticks
+	for span > 0 {
+		if g.sceneLeft == 0 {
+			width := int(g.maxScene - g.minScene)
+			g.scene = g.minScene + ticks.Ticks(g.rng.Intn(width+1))
+			g.sceneLeft = g.scene
+		}
+		step := g.sceneLeft
+		if step > span {
+			step = span
+		}
+		g.sceneLeft -= step
+		span -= step
+		used += step
+		if g.sceneLeft == 0 {
+			g.stats.Frames++
+		}
+	}
+	// The renderer always has another scene: consume the grant fully
+	// and keep going next period (return semantics).
+	return task.RunResult{Used: used, Op: task.OpRanOut}
+}
+
+// Display2D models the 2D graphics / display-refresh path: a period
+// set by the user's refresh rate (§4.1's 72 Hz example), a modest
+// fixed cost per refresh, and double-buffered flips so tearing never
+// happens (§5.4). It counts refreshes that had no fresh frame ready
+// (duplicates) — the benign artifact of clock drift the paper
+// describes for the DRC.
+type Display2D struct {
+	stats   D2DStats
+	work    ticks.Ticks
+	ready   bool
+	pending ticks.Ticks
+	started bool
+}
+
+// D2DStats counts refreshes and duplicate frames.
+type D2DStats struct {
+	Refreshes  int
+	Duplicates int
+}
+
+// QualityString summarises for experiment output.
+func (s D2DStats) QualityString() string {
+	return fmt.Sprintf("refreshes=%d duplicates=%d", s.Refreshes, s.Duplicates)
+}
+
+// NewDisplay2D returns a display path doing work ticks per refresh.
+func NewDisplay2D(work ticks.Ticks) *Display2D { return &Display2D{work: work} }
+
+// Display2DList builds the resource list for a refresh rate in Hz:
+// the §4.1 example (72 Hz -> 375,000-tick period).
+func Display2DList(hz int64, work ticks.Ticks) task.ResourceList {
+	period := ticks.PerSecond / ticks.Ticks(hz)
+	return task.SingleLevel(period, work, "RefreshDisplay")
+}
+
+// Task wraps the display for admission at the given refresh rate.
+func (d *Display2D) Task(hz int64) *task.Task {
+	return &task.Task{
+		Name:      "display2d",
+		List:      Display2DList(hz, d.work),
+		Body:      d,
+		Semantics: task.CallbackSemantics,
+	}
+}
+
+// Stats returns the accounting.
+func (d *Display2D) Stats() D2DStats { return d.stats }
+
+// Run implements task.Body.
+func (d *Display2D) Run(ctx task.RunContext) task.RunResult {
+	if ctx.NewPeriod {
+		if d.started {
+			d.stats.Refreshes++
+			if d.pending > 0 {
+				// The frame was not composed in time: the DRC shows
+				// the previous buffer again. No tearing — the flip
+				// only happens on completion.
+				d.stats.Duplicates++
+			}
+		}
+		d.pending = d.work
+		d.started = true
+	}
+	if d.pending <= 0 {
+		return task.RunResult{Op: task.OpYield, Completed: true}
+	}
+	if d.pending <= ctx.Span {
+		used := d.pending
+		d.pending = 0
+		return task.RunResult{Used: used, Op: task.OpYield, Completed: true}
+	}
+	d.pending -= ctx.Span
+	return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+}
