@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race lint vet fuzz-smoke ci
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# rdlint standalone: the determinism/unit-safety analyzers over the
+# whole module (see docs/DETERMINISM.md).
+lint:
+	$(GO) run ./cmd/rdlint ./...
+
+# The same analyzers through the go vet vettool protocol.
+vet:
+	$(GO) build -o $(CURDIR)/rdlint.bin ./cmd/rdlint
+	$(GO) vet -vettool=$(CURDIR)/rdlint.bin ./...
+	rm -f $(CURDIR)/rdlint.bin
+
+# Short fuzz runs of the exact-arithmetic kernels, plus the scenario
+# invariant sweep in internal/core (a regular test, fuzz-like in
+# spirit).
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzFracAdd -fuzztime=10s ./internal/ticks
+	$(GO) test -run=NONE -fuzz=FuzzTickConversions -fuzztime=10s ./internal/ticks
+	$(GO) test -run=TestScenarioFuzz -count=1 ./internal/core
+
+ci: build vet test race lint fuzz-smoke

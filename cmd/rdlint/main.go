@@ -1,0 +1,249 @@
+// Command rdlint runs the determinism and unit-safety analyzers in
+// internal/analysis over this module. It supports two modes:
+//
+// Standalone, for day-to-day use and CI:
+//
+//	go run ./cmd/rdlint ./...
+//	go run ./cmd/rdlint ./internal/sched
+//
+// As a go vet backend, speaking cmd/go's vettool protocol (-V=full
+// fingerprinting, -flags discovery, and per-package .cfg files with
+// gc export data):
+//
+//	go build -o rdlint ./cmd/rdlint
+//	go vet -vettool=$(pwd)/rdlint ./...
+//
+// In both modes findings print as file:line:col: analyzer: message and
+// a non-zero exit (2, matching go vet) reports that findings exist.
+// Sites are waived inline with //rdlint:ordered-ok <reason> or
+// //rdlint:allow <analyzer> <reason>; see docs/DETERMINISM.md.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/loader"
+)
+
+func main() {
+	var rest []string
+	mode := ""
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			mode = "version"
+		case arg == "-flags" || arg == "--flags":
+			mode = "flags"
+		case arg == "help" || arg == "-h" || arg == "-help" || arg == "--help":
+			usage()
+			return
+		case strings.HasPrefix(arg, "-"):
+			// Tolerate unknown flags (cmd/go may pass vet flags that we
+			// have no use for, e.g. -json).
+		default:
+			rest = append(rest, arg)
+		}
+	}
+	switch mode {
+	case "version":
+		printVersion()
+		return
+	case "flags":
+		// cmd/go interrogates the tool's flag set as JSON; rdlint has
+		// no configurable flags.
+		fmt.Println("[]")
+		return
+	}
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(unitcheck(rest[0]))
+	}
+	os.Exit(standalone(rest))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: rdlint [packages]   (standalone: go run ./cmd/rdlint ./...)\n")
+	fmt.Fprintf(os.Stderr, "       rdlint file.cfg     (as go vet -vettool backend)\n\nanalyzers:\n")
+	for _, a := range analysis.Analyzers {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+	}
+}
+
+// printVersion implements the -V=full handshake: cmd/go fingerprints
+// the vettool by this line's buildID token so vet results are
+// invalidated when the tool changes.
+func printVersion() {
+	exe, err := os.Executable()
+	var sum [sha256.Size]byte
+	if err == nil {
+		if data, rerr := os.ReadFile(exe); rerr == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("rdlint version devel comments-go-here buildID=%02x\n", string(sum[:]))
+}
+
+// --- standalone mode ---
+
+func standalone(patterns []string) int {
+	root, err := loader.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlint:", err)
+		return 1
+	}
+	l, err := loader.New(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlint:", err)
+		return 1
+	}
+	paths, err := l.Patterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlint:", err)
+		return 1
+	}
+	found := false
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdlint:", err)
+			return 1
+		}
+		diags, err := analysis.Run(l.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, analysis.Analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdlint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+// --- go vet -vettool mode ---
+
+// vetConfig is the JSON cmd/go writes for each package it vets; the
+// field set mirrors golang.org/x/tools/go/analysis/unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rdlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// rdlint keeps no cross-package facts, but cmd/go requires the
+	// .vetx output to exist before it will trust the run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "rdlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "rdlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the compiler already
+	// produced for this build: cmd/go hands us the canonical path map
+	// and the .a/.x file per canonical path.
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if canonical, ok := cfg.ImportMap[importPath]; ok {
+			importPath = canonical
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tconf := types.Config{Importer: imp, FakeImportC: true, GoVersion: cfg.GoVersion}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "rdlint:", err)
+		return 1
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, analysis.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,279 @@
+// Package analysis is a dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, sized for this
+// repository. It exists because the reproduction's whole claim rests
+// on the simulator being exactly deterministic (DESIGN.md §1), and
+// determinism is the kind of invariant that conventions cannot hold:
+// one `range` over a map in the dispatch path silently invalidates
+// every recorded trace. The analyzers in this package — maporder,
+// wallclock, rawrand, tickunits — mechanically enforce the invariants
+// documented in docs/DETERMINISM.md. They are driven by cmd/rdlint,
+// which runs both standalone (`go run ./cmd/rdlint ./...`) and as a
+// `go vet -vettool` backend.
+//
+// The API mirrors go/analysis (Analyzer, Pass, Diagnostic) so that a
+// future PR can swap in the real module unchanged once the build
+// environment vendors golang.org/x/tools; analyzers only use the
+// subset reimplemented here.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rdlint:allow waiver directives.
+	Name string
+
+	// Doc is the analyzer's help text; the first line is a summary.
+	Doc string
+
+	// Run applies the analyzer to a package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics after waiver filtering.
+	report func(Diagnostic)
+
+	// waivers holds the parsed //rdlint: directives of this package,
+	// built lazily on first Report.
+	waivers *waiverSet
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a finding at pos unless a waiver directive covers
+// it. A waiver without a written reason does not suppress — it is
+// converted into its own finding, so every waiver in the tree carries
+// a justification.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.waivers == nil {
+		p.waivers = parseWaivers(p.Fset, p.Files)
+	}
+	position := p.Fset.Position(pos)
+	switch p.waivers.status(p.Analyzer.Name, position) {
+	case waived:
+		return
+	case waivedNoReason:
+		p.report(Diagnostic{
+			Pos:      pos,
+			Analyzer: p.Analyzer.Name,
+			Message:  "rdlint waiver is missing a reason; write //rdlint:" + directiveVerb(p.Analyzer.Name) + " <why this site is safe>",
+		})
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. The analyzers check simulation code, not tests: test files may
+// range maps and read the host clock without perturbing recorded
+// simulation trajectories.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ExprString renders an expression as compact source text, for
+// structural comparison of small expressions (the maporder min/max
+// justification) and for diagnostics.
+func (p *Pass) ExprString(e ast.Expr) string {
+	var b strings.Builder
+	printer.Fprint(&b, p.Fset, e)
+	return b.String()
+}
+
+// --- deterministic package gate ---
+
+// DeterministicPackages lists the import paths whose code runs inside
+// the virtual-time simulation and therefore must be exactly
+// reproducible (see docs/DETERMINISM.md). Sub-packages are included.
+// cmd/rdbench is deliberately absent: it measures host time.
+var DeterministicPackages = []string{
+	"repro/internal/sim",
+	"repro/internal/sched",
+	"repro/internal/rm",
+	"repro/internal/core",
+	"repro/internal/policy",
+	"repro/internal/baseline",
+}
+
+// AdmissionPackages lists the packages whose arithmetic decides
+// admission and grant computation, where the paper's exact
+// schedulability boundary lives; float conversions of Ticks are
+// forbidden there in favour of ticks.Frac.
+var AdmissionPackages = []string{
+	"repro/internal/rm",
+	"repro/internal/policy",
+}
+
+// TicksPackage is the import path of the 27 MHz time base package.
+const TicksPackage = "repro/internal/ticks"
+
+// InDeterministicPackage reports whether path is one of (or nested
+// under) the deterministic simulation packages.
+func InDeterministicPackage(path string) bool { return underAny(path, DeterministicPackages) }
+
+// InAdmissionPackage reports whether path carries admission/grant
+// arithmetic.
+func InAdmissionPackage(path string) bool { return underAny(path, AdmissionPackages) }
+
+func underAny(path string, roots []string) bool {
+	for _, r := range roots {
+		if path == r || strings.HasPrefix(path, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// --- waiver directives ---
+
+// Waivers are single-line comments of two forms:
+//
+//	//rdlint:ordered-ok <reason>      (maporder only)
+//	//rdlint:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line immediately above it. The
+// reason is mandatory: a waiver with no reason is itself reported.
+type waiverStatus int
+
+const (
+	notWaived waiverStatus = iota
+	waived
+	waivedNoReason
+)
+
+type waiverKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+type waiverSet struct {
+	// reasons maps a directive site to its reason text ("" = missing).
+	reasons map[waiverKey]string
+}
+
+// directiveVerb returns the waiver verb suggested for an analyzer in
+// diagnostics: maporder has the dedicated historical verb.
+func directiveVerb(analyzer string) string {
+	if analyzer == "maporder" {
+		return "ordered-ok"
+	}
+	return "allow " + analyzer
+}
+
+func parseWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
+	ws := &waiverSet{reasons: make(map[waiverKey]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//rdlint:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				var analyzer, reason string
+				switch {
+				case strings.HasPrefix(text, "ordered-ok"):
+					analyzer = "maporder"
+					reason = strings.TrimPrefix(text, "ordered-ok")
+				case strings.HasPrefix(text, "allow"):
+					rest := strings.TrimSpace(strings.TrimPrefix(text, "allow"))
+					analyzer, reason, _ = strings.Cut(rest, " ")
+				default:
+					continue
+				}
+				if analyzer == "" {
+					continue
+				}
+				k := waiverKey{analyzer: analyzer, file: pos.Filename, line: pos.Line}
+				ws.reasons[k] = strings.TrimSpace(reason)
+			}
+		}
+	}
+	return ws
+}
+
+func (ws *waiverSet) status(analyzer string, pos token.Position) waiverStatus {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if reason, ok := ws.reasons[waiverKey{analyzer: analyzer, file: pos.Filename, line: line}]; ok {
+			if reason == "" {
+				return waivedNoReason
+			}
+			return waived
+		}
+	}
+	return notWaived
+}
+
+// --- driver ---
+
+// Run applies the analyzers to one typechecked package and returns
+// the surviving diagnostics sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	// Insertion sort by (file, offset, analyzer); n is small.
+	less := func(a, b Diagnostic) bool {
+		pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Offset != pb.Offset {
+			return pa.Offset < pb.Offset
+		}
+		return a.Analyzer < b.Analyzer
+	}
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && less(diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+// FileBase returns the base name of the file containing pos.
+func FileBase(fset *token.FileSet, pos token.Pos) string {
+	return filepath.Base(fset.Position(pos).Filename)
+}

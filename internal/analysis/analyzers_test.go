@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atest"
+)
+
+// The fixture packages live under testdata/src with real-looking
+// import paths (GOPATH layout), so the analyzers' package gates apply
+// to them exactly as to the live tree: repro/internal/... paths are
+// inside the deterministic set, repro/example/... and repro/cmd/...
+// are outside it.
+
+func TestMapOrder(t *testing.T) {
+	atest.Run(t, "testdata", analysis.MapOrder,
+		"repro/internal/sched/mofix",
+		"repro/example/mofree",
+	)
+}
+
+func TestWallClock(t *testing.T) {
+	atest.Run(t, "testdata", analysis.WallClock,
+		"repro/internal/sim/wcfix",
+		"repro/cmd/bfix",
+	)
+}
+
+func TestRawRand(t *testing.T) {
+	// repro/internal/sim here is the fixture shadow of the real
+	// package: rng.go is exempt, source.go is flagged.
+	atest.Run(t, "testdata", analysis.RawRand,
+		"repro/internal/sim",
+		"repro/example/rrfree",
+	)
+}
+
+func TestTickUnits(t *testing.T) {
+	atest.Run(t, "testdata", analysis.TickUnits,
+		"repro/internal/sched/tufix",
+		"repro/internal/rm/tufix",
+		"repro/example/tufree",
+	)
+}

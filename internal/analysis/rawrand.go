@@ -1,0 +1,46 @@
+package analysis
+
+import "strconv"
+
+// RawRand forbids importing math/rand and math/rand/v2 anywhere in the
+// module except internal/sim/rng.go. EXPERIMENTS.md records exact
+// simulated numbers, and math/rand's stream is not guaranteed stable
+// across Go releases — all randomness must flow through the seeded,
+// version-stable xorshift64* generator in internal/sim (sim.RNG).
+//
+// Unlike the other analyzers this one applies to every package, not
+// just the deterministic set: a workload or example seeded from
+// math/rand would silently tie recorded results to a Go release.
+var RawRand = &Analyzer{
+	Name: "rawrand",
+	Doc: "forbid math/rand imports outside internal/sim/rng.go\n\n" +
+		"All randomness must come from the seeded, version-stable sim.RNG so recorded\n" +
+		"simulation results survive Go releases.",
+	Run: runRawRand,
+}
+
+func runRawRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// The one sanctioned home: were sim.RNG ever reimplemented on
+		// top of math/rand/v2, internal/sim/rng.go is where the import
+		// would live.
+		if pass.Pkg.Path() == "repro/internal/sim" && FileBase(pass.Fset, f.Pos()) == "rng.go" {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s outside internal/sim/rng.go; use the seeded, version-stable sim.RNG so recorded results survive Go releases",
+					path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package mofree sits outside the deterministic packages, so maporder
+// must stay silent even for flagrantly order-sensitive loops.
+package mofree
+
+var sink []int
+
+func record(v int) { sink = append(sink, v) }
+
+func emitAll(m map[string]int) {
+	for _, v := range m { // outside the gate: no diagnostic
+		record(v)
+	}
+}

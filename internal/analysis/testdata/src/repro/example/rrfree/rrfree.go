@@ -1,0 +1,8 @@
+// Package rrfree shows rawrand applies to every package, not just the
+// deterministic set: a workload generator seeded from math/rand would
+// tie recorded results to a Go release.
+package rrfree
+
+import "math/rand" // want "outside internal/sim/rng.go"
+
+func Roll() int { return rand.Intn(6) }

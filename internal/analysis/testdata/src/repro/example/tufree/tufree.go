@@ -1,0 +1,9 @@
+// Package tufree sits outside both the deterministic and the
+// admission packages: float reporting of Ticks is fine here.
+package tufree
+
+import "repro/internal/ticks"
+
+func Seconds(t ticks.Ticks) float64 {
+	return float64(t) / float64(ticks.PerSecond) // reporting: no diagnostic
+}

@@ -1,0 +1,28 @@
+// Package tufix (rm variant) exercises tickunits rule 3: float
+// conversions of Ticks inside the admission/grant packages, where the
+// schedulability boundary demands exact ticks.Frac arithmetic.
+package tufix
+
+import "repro/internal/ticks"
+
+// The classic utilization bug: float division on the admission path.
+func utilization(cpu, period ticks.Ticks) float64 {
+	return float64(cpu) / float64(period) // want "ticks.Frac" "ticks.Frac"
+}
+
+// ticks.Rate is float64 underneath; converting Ticks into it directly
+// is the same laundering.
+func rate(cpu ticks.Ticks) ticks.Rate {
+	return ticks.Rate(cpu) // want "ticks.Frac"
+}
+
+// The exact path is fine.
+func fraction(cpu, period ticks.Ticks) ticks.Frac {
+	return ticks.FracOf(cpu, period)
+}
+
+// A waived reporting site with a written reason is accepted.
+func logLine(cpu ticks.Ticks) float64 {
+	//rdlint:allow tickunits feeds a human-readable log line, not an admission decision
+	return float64(cpu)
+}

@@ -1,0 +1,37 @@
+// Package tufix exercises tickunits rules 1 and 2 (core-cycle and
+// float laundering into ticks.Ticks) inside a deterministic package.
+// It imports the real repro/internal/ticks so the type identities
+// match the live tree.
+package tufix
+
+import "repro/internal/ticks"
+
+// Hand-rolled core-cycle conversion: truncates differently than the
+// rounding-audited helper.
+func budgetFromCycles(cycles int64) ticks.Ticks {
+	return ticks.Ticks(cycles * ticks.CoreCyclesDenom / ticks.CoreCyclesNum) // want "ticks.FromCoreCycles"
+}
+
+// Deriving a tick count from the core clock rate.
+func periodFromHz(n int64) ticks.Ticks {
+	return ticks.Ticks(n / ticks.CoreHz) // want "ticks.FromCoreCycles"
+}
+
+// Float-derived tick counts embed rounding in the schedule.
+func scaled(t ticks.Ticks, f float64) ticks.Ticks {
+	return ticks.Ticks(float64(t) * f) // want "float"
+}
+
+// The sanctioned crossings.
+func viaHelper(cycles int64) ticks.Ticks {
+	return ticks.FromCoreCycles(cycles)
+}
+
+func backToCycles(t ticks.Ticks) int64 {
+	return t.CoreCycles()
+}
+
+// Plain integer conversions carry no unit change: allowed.
+func fromCount(n int64) ticks.Ticks {
+	return ticks.Ticks(n)
+}

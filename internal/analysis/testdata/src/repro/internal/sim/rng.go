@@ -1,0 +1,6 @@
+// Package sim shadows repro/internal/sim for the rawrand test: this
+// file is the one sanctioned home for a math/rand import (it is where
+// sim.RNG would live if it were ever rebuilt on top of math/rand).
+package sim
+
+import _ "math/rand" // no diagnostic: internal/sim/rng.go is the sanctioned home

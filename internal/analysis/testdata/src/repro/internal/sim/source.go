@@ -1,0 +1,3 @@
+package sim
+
+import _ "math/rand" // want "outside internal/sim/rng.go"

@@ -1,0 +1,32 @@
+// Package wcfix exercises the wallclock analyzer inside the
+// deterministic-package gate (under repro/internal/sim).
+package wcfix
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+func ageOf(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the host clock"
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+func timer() *time.Timer {
+	return time.NewTimer(time.Second) // want "time.NewTimer reads the host clock"
+}
+
+// Duration arithmetic and conversions are pure values: allowed.
+func twice(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// A waived site with a written reason is accepted.
+func waivedPause() {
+	//rdlint:allow wallclock throttles a debug REPL, never runs during simulation
+	time.Sleep(time.Millisecond)
+}

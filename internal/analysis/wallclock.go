@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockForbidden lists the package time functions that read or
+// wait on the host clock. Using any of them inside the simulation
+// couples a run to wall time, so two same-seed runs stop being
+// byte-identical. time.Duration arithmetic and conversions remain
+// fine: they are pure values.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallClock forbids host-clock access (time.Now, time.Since,
+// time.Sleep, time.Tick, ...) in the deterministic simulation
+// packages. All time inside the simulation is virtual: sim.Kernel.Now
+// advances only when the simulation advances it. cmd/rdbench is
+// exempt by construction (it is not a deterministic package): it
+// measures host-side wall time on purpose.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid host-clock access in deterministic packages\n\n" +
+		"time.Now/Since/Until/Sleep/Tick/After/NewTimer/NewTicker read or wait on the\n" +
+		"host clock; simulation code must use the virtual sim.Kernel clock instead.",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	if !InDeterministicPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc || !wallclockForbidden[obj.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s reads the host clock inside deterministic package %s; use the virtual clock (sim.Kernel.Now / Kernel.After)",
+				obj.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -94,8 +94,15 @@ func (b *Box) Load(r io.Reader) error {
 	}
 	install := func(rec PolicyRecord, override bool) error {
 		p := Policy{Shares: make(Ranking, len(rec.Shares))}
-		for name, share := range rec.Shares {
-			p.Shares[b.Register(name)] = share
+		// Register assigns fresh MemberIDs on first sight, so iterate
+		// names in sorted order to keep the ID assignment stable.
+		recNames := make([]string, 0, len(rec.Shares))
+		for name := range rec.Shares {
+			recNames = append(recNames, name)
+		}
+		sort.Strings(recNames)
+		for _, name := range recNames {
+			p.Shares[b.Register(name)] = rec.Shares[name]
 		}
 		if rec.Exclusive != "" {
 			p.Exclusive = b.Register(rec.Exclusive)

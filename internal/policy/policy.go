@@ -61,7 +61,10 @@ func (p Policy) Validate() error {
 		return errors.New("policy: empty ranking")
 	}
 	sum := 0
-	for m, s := range p.Shares {
+	// Members() iterates in sorted order so the error reported for a
+	// multi-violation policy is the same on every run.
+	for _, m := range p.Members() {
+		s := p.Shares[m]
 		if s <= 0 {
 			return fmt.Errorf("policy: member %d has non-positive share %d", m, s)
 		}

@@ -47,8 +47,10 @@ func (c CostModel) OpCost(op OpStats, rng *sim.RNG) ticks.Ticks {
 	var cost ticks.Ticks
 	if op.AdmissionChecks > 0 {
 		j := c.AdmitSpread / 2
-		if rng != nil {
-			j = ticks.Ticks(rng.Float64() * float64(c.AdmitSpread))
+		if rng != nil && c.AdmitSpread > 0 {
+			// Integer jitter in [0, AdmitSpread): float scaling here
+			// would round host-dependently into the schedule.
+			j = ticks.Ticks(rng.Intn(int(c.AdmitSpread)))
 		}
 		cost += c.AdmitBase + j
 	}

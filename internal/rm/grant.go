@@ -49,8 +49,10 @@ type GrantSet map[task.ID]Grant
 // TotalFrac sums the exact rates of all grants in the set.
 func (gs GrantSet) TotalFrac() ticks.Frac {
 	sum := ticks.FracZero
-	for _, g := range gs {
-		sum = sum.Add(g.Frac())
+	// Frac addition normalises through gcd reduction; sum in sorted
+	// order so intermediate overflow behaviour cannot vary across runs.
+	for _, id := range gs.IDs() {
+		sum = sum.Add(gs[id].Frac())
 	}
 	return sum
 }

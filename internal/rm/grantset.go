@@ -379,7 +379,10 @@ func sortOrder(order []int, less func(i, j int) bool) {
 // decreases and removals immediately, increases via the pending flag
 // picked up at unallocated time (§4.2).
 func (m *Manager) commit(old, gs GrantSet) {
-	for id, og := range old {
+	// Sorted iteration: GrantDecreased reaches the Scheduler and the
+	// trace, so signal order must not depend on map iteration order.
+	for _, id := range old.IDs() {
+		og := old[id]
 		ng, ok := gs[id]
 		if !ok {
 			// Removal was already signalled by the caller (Remove or

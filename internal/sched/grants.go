@@ -61,7 +61,10 @@ func (s *Scheduler) dropTask(t *tcb) {
 func (s *Scheduler) collectGrants() {
 	gs := s.rmg.CollectGrants()
 	now := s.k.Now()
-	for id, g := range gs {
+	// Sorted iteration: startTask emits trace events, whose order must
+	// not depend on map iteration order.
+	for _, id := range gs.IDs() {
+		g := gs[id]
 		t, ok := s.tasks[id]
 		if !ok {
 			s.startTask(id, g, now)
@@ -207,6 +210,7 @@ func (t *tcb) takeInsertedIdle() ticks.Ticks {
 // deterministic iteration over the map.
 func (s *Scheduler) tasksByID() []*tcb {
 	out := make([]*tcb, 0, len(s.tasks))
+	//rdlint:ordered-ok the insertion sort below restores ascending task ID order
 	for _, t := range s.tasks {
 		out = append(out, t)
 	}

@@ -223,7 +223,7 @@ func (s *Scheduler) SporadicStatsOf(id SporadicID) (SporadicStats, bool) {
 
 // clearSSAssignment cancels any active assignment to sp.
 func (s *Scheduler) clearSSAssignment(sp *sporadicTask) {
-	for _, t := range s.tasks {
+	for _, t := range s.tasksByID() {
 		if t.isSS && t.ssCurrent == sp {
 			t.ssCurrent = nil
 			t.ssAssignLeft = 0

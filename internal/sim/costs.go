@@ -132,5 +132,10 @@ func (s *SwitchCosts) CacheRefill() ticks.Ticks {
 }
 
 func usToTicks(us float64) ticks.Ticks {
+	// The switch-cost model is specified in fractional microseconds
+	// (Table 2) and Weibull samples are inherently float; this is the
+	// single audited site where they round into ticks, with an explicit
+	// round-half-away so the result is platform-independent.
+	//rdlint:allow tickunits single audited µs→ticks rounding site for the float cost model
 	return ticks.Ticks(math.Round(us * float64(ticks.PerMicrosecond)))
 }
