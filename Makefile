@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet fuzz-smoke ci
+.PHONY: all build test race lint vet fuzz-smoke sweep-smoke ci
 
 all: build test lint
 
@@ -32,4 +32,14 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzTickConversions -fuzztime=10s ./internal/ticks
 	$(GO) test -run=TestScenarioFuzz -count=1 ./internal/core
 
-ci: build vet test race lint fuzz-smoke
+# Parallel sweep engine smoke: the engine's own tests under the race
+# detector, then a short rdsweep run on 4 workers and on 1, asserting
+# byte-identical JSON aggregates (the worker-invariance contract).
+sweep-smoke:
+	$(GO) test -race -count=1 ./internal/sweep/...
+	$(GO) run -race ./cmd/rdsweep -scenarios all -seeds 8 -workers 4 -horizon-ms 500 -quiet -json sweep-w4.json
+	$(GO) run -race ./cmd/rdsweep -scenarios all -seeds 8 -workers 1 -horizon-ms 500 -quiet -json sweep-w1.json
+	cmp sweep-w4.json sweep-w1.json
+	rm -f sweep-w4.json sweep-w1.json
+
+ci: build vet test race lint fuzz-smoke sweep-smoke

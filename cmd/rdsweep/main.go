@@ -1,0 +1,110 @@
+// rdsweep runs parallel Monte-Carlo sweeps over the Resource
+// Distributor: a matrix of (scenario × switch-cost model × policy ×
+// seed) simulations executed on a bounded worker pool, aggregated
+// into per-cell loss rates, utilization, overhead fractions and
+// admission-latency percentiles. The aggregate is independent of
+// -workers: each run owns its single-goroutine kernel, and results
+// are folded in a fixed order.
+//
+//	go run ./cmd/rdsweep -scenarios all -seeds 64 -workers 8
+//	go run ./cmd/rdsweep -scenarios settop,overload -costs paper -json sweep.json
+//	go run ./cmd/rdsweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sweep"
+	"repro/internal/ticks"
+)
+
+func main() {
+	var (
+		scenariosFlag = flag.String("scenarios", "all", "comma-separated scenario names, or 'all' (see -list)")
+		costsFlag     = flag.String("costs", strings.Join(sweep.DefaultCostModels(), ","), "comma-separated switch-cost models, or 'all'")
+		policiesFlag  = flag.String("policies", "all", "comma-separated policy variants, or 'all'")
+		seedsFlag     = flag.Int("seeds", 16, "number of seeds per cell")
+		seedBase      = flag.Uint64("seed-base", 1, "first seed; runs use seed-base .. seed-base+seeds-1")
+		workers       = flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS (never affects results)")
+		horizonMS     = flag.Int64("horizon-ms", 0, "simulated duration per run in ms; 0 = default (2000)")
+		jsonPath      = flag.String("json", "", "write machine-readable aggregates to this file ('-' for stdout)")
+		quiet         = flag.Bool("quiet", false, "suppress the human-readable table")
+		list          = flag.Bool("list", false, "list scenarios, cost models and policies, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("scenarios:")
+		for _, sc := range sweep.Scenarios() {
+			fmt.Printf("  %-10s %s (policies: %s)\n", sc.Name, sc.Desc, strings.Join(sc.Policies, ", "))
+		}
+		fmt.Printf("cost models: %s (default %s)\n",
+			strings.Join(sweep.CostModelNames(), ", "), strings.Join(sweep.DefaultCostModels(), ", "))
+		fmt.Printf("policies:    %s\n", strings.Join(sweep.AllPolicies(), ", "))
+		return
+	}
+
+	m := sweep.Matrix{
+		Scenarios:  splitOrAll(*scenariosFlag),
+		CostModels: splitOrAll(*costsFlag),
+		Policies:   splitOrAll(*policiesFlag),
+		Seeds:      sweep.SeedRange(*seedBase, *seedsFlag),
+		Horizon:    ticks.FromMilliseconds(*horizonMS),
+	}
+	res, err := sweep.Run(m, sweep.Options{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdsweep:", err)
+		os.Exit(2)
+	}
+
+	if !*quiet {
+		fmt.Printf("rdsweep: %d runs (workers=%s)\n\n", res.TotalRuns, workersLabel(*workers))
+		fmt.Print(res.Table())
+	}
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rdsweep:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "rdsweep:", err)
+			os.Exit(2)
+		}
+	}
+	if n := res.Errors(); n > 0 {
+		fmt.Fprintf(os.Stderr, "rdsweep: %d run(s) failed\n", n)
+		os.Exit(1)
+	}
+}
+
+func splitOrAll(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func workersLabel(n int) string {
+	if n <= 0 {
+		return "auto"
+	}
+	return strconv.Itoa(n)
+}

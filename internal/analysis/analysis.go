@@ -119,6 +119,7 @@ var DeterministicPackages = []string{
 	"repro/internal/core",
 	"repro/internal/policy",
 	"repro/internal/baseline",
+	"repro/internal/sweep",
 }
 
 // AdmissionPackages lists the packages whose arithmetic decides

@@ -37,7 +37,7 @@ import (
 var MapOrder = &Analyzer{
 	Name: "maporder",
 	Doc: "flag map iteration with order-visible effects in deterministic packages\n\n" +
-		"Map ranges in internal/{sim,sched,rm,core,policy,baseline} must be provably\n" +
+		"Map ranges in internal/{sim,sched,rm,core,policy,baseline,sweep} must be provably\n" +
 		"order-insensitive, rewritten over a sorted snapshot, or carry an explicit\n" +
 		"//rdlint:ordered-ok <reason> waiver.",
 	Run: runMapOrder,

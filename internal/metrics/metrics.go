@@ -26,6 +26,20 @@ func (s *Summary) Add(v float64) {
 	s.sorted = false
 }
 
+// Merge folds all of o's samples into s, leaving o unchanged. Sweep
+// workers aggregate per-run results into per-cell summaries this way;
+// merging in a fixed order keeps the sample sequence (and so the
+// float accumulation) identical regardless of how many workers
+// produced the parts.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	s.samples = append(s.samples, o.samples...)
+	s.sum += o.sum
+	s.sorted = false
+}
+
 // N reports the sample count.
 func (s *Summary) N() int { return len(s.samples) }
 
@@ -140,6 +154,26 @@ func (h *Histogram) Add(v float64) {
 	default:
 		h.Counts[idx]++
 	}
+}
+
+// Merge adds o's counts into h, leaving o unchanged. The two
+// histograms must share bucket geometry (lo, width, bin count) —
+// merging histograms over different grids would silently misbucket,
+// so a mismatch panics.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if h.Lo != o.Lo || h.Width != o.Width || len(h.Counts) != len(o.Counts) {
+		panic(fmt.Sprintf("metrics: merging histograms with different geometry: [%v w%v x%d] vs [%v w%v x%d]",
+			h.Lo, h.Width, len(h.Counts), o.Lo, o.Width, len(o.Counts)))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.n += o.n
 }
 
 // N reports total samples.

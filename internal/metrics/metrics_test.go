@@ -132,3 +132,79 @@ func TestCounter(t *testing.T) {
 		t.Errorf("String() = %q", c.String())
 	}
 }
+
+func TestSummaryMerge(t *testing.T) {
+	// Merging parts in order must equal adding the whole sequence in
+	// order — the invariant the sweep engine's deterministic
+	// aggregation rests on.
+	vals := []float64{5, 1, 4, 2, 8, 3, 9, 7}
+	var whole Summary
+	for _, v := range vals {
+		whole.Add(v)
+	}
+	var a, b, merged Summary
+	for _, v := range vals[:4] {
+		a.Add(v)
+	}
+	for _, v := range vals[4:] {
+		b.Add(v)
+	}
+	merged.Merge(&a)
+	merged.Merge(&b)
+	merged.Merge(nil)        // nil is a no-op
+	merged.Merge(&Summary{}) // empty is a no-op
+	if merged.N() != whole.N() || merged.Sum() != whole.Sum() {
+		t.Fatalf("merged n=%d sum=%v, want n=%d sum=%v", merged.N(), merged.Sum(), whole.N(), whole.Sum())
+	}
+	for _, p := range []float64{0, 25, 50, 90, 100} {
+		if m, w := merged.Percentile(p), whole.Percentile(p); m != w {
+			t.Errorf("p%.0f: merged %v, whole %v", p, m, w)
+		}
+	}
+	if merged.Mean() != whole.Mean() || merged.Stddev() != whole.Stddev() {
+		t.Errorf("merged mean/stddev %v/%v, whole %v/%v",
+			merged.Mean(), merged.Stddev(), whole.Mean(), whole.Stddev())
+	}
+	// The source is left intact.
+	if a.N() != 4 || b.N() != 4 {
+		t.Errorf("Merge consumed its source: a.N=%d b.N=%d", a.N(), b.N())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 4)
+	b := NewHistogram(0, 10, 4)
+	for _, v := range []float64{-5, 1, 11, 35} {
+		a.Add(v)
+	}
+	for _, v := range []float64{2, 45, 45, 21} {
+		b.Add(v)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	if a.N() != 8 {
+		t.Errorf("merged N = %d, want 8", a.N())
+	}
+	wantCounts := []int64{2, 1, 1, 1} // 1,2 / 11 / 21 / 35
+	for i, w := range wantCounts {
+		if a.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, a.Counts[i], w, a.Counts)
+		}
+	}
+	if a.under != 1 || a.over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", a.under, a.over)
+	}
+	// b unchanged.
+	if b.N() != 4 || b.over != 2 {
+		t.Errorf("Merge mutated its source: %+v", b)
+	}
+}
+
+func TestHistogramMergeGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging histograms with different geometry did not panic")
+		}
+	}()
+	NewHistogram(0, 10, 4).Merge(NewHistogram(0, 5, 4))
+}

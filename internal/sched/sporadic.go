@@ -221,10 +221,15 @@ func (s *Scheduler) SporadicStatsOf(id SporadicID) (SporadicStats, bool) {
 	return SporadicStats{}, false
 }
 
-// clearSSAssignment cancels any active assignment to sp.
+// clearSSAssignment cancels any active assignment to sp — both the
+// Sporadic Server's own round-robin slice and a general §5.1
+// AssignGrant assignment held by a non-server periodic task. Clearing
+// the latter is what resumes the periodic task: with ssCurrent nil
+// its next dispatch runs its own body again, receiving the period
+// callback that was deferred while the assignment was active.
 func (s *Scheduler) clearSSAssignment(sp *sporadicTask) {
 	for _, t := range s.tasksByID() {
-		if t.isSS && t.ssCurrent == sp {
+		if t.ssCurrent == sp {
 			t.ssCurrent = nil
 			t.ssAssignLeft = 0
 		}

@@ -9,11 +9,22 @@ import (
 // Kernel is the virtual machine a Resource Distributor instance runs
 // on: a clock, an event queue, a PRNG, the switch-cost model, and
 // global counters. It is single-goroutine by design — determinism is
-// the point — so it needs no locking.
+// the point — so it needs no locking. Concurrent sweeps (see
+// internal/sweep) run one Kernel per goroutine; a Kernel shares no
+// state with other Kernel instances.
+//
+// Observability probes — Now, NextEventTime, Stats, CacheRefill, and
+// PeekSwitchCost — are read-only: calling them any number of times,
+// at any point, must not change what the simulation subsequently
+// does. The probe-side-effect audit in probe_test.go enforces this.
+// RNG deliberately is not a probe: it hands out the kernel's one
+// mutable cost/jitter stream, and drawing from it is a simulation
+// action.
 type Kernel struct {
 	now    ticks.Ticks
 	events EventQueue
 	rng    *RNG
+	peek   *RNG // substream for read-only cost probes; never feeds the run
 	costs  SwitchCosts
 
 	// Counters.
@@ -39,6 +50,7 @@ type Config struct {
 func NewKernel(cfg Config) *Kernel {
 	return &Kernel{
 		rng:   NewRNG(cfg.Seed),
+		peek:  NewRNG(SplitSeed(cfg.Seed, 1)),
 		costs: cfg.Costs,
 	}
 }
@@ -142,8 +154,13 @@ func (k *Kernel) ChargeSwitch(kind SwitchKind) ticks.Ticks {
 
 // PeekSwitchCost samples a switch cost without advancing time or
 // counters; the §6.1 microbenchmark uses it to build distributions.
+// It draws from a dedicated substream forked off the seed, not from
+// the kernel's main RNG: peeking is an observability probe, and a
+// probe that consumed the run's cost stream would silently change
+// every subsequently sampled switch cost (the probe sequence is still
+// deterministic per seed).
 func (k *Kernel) PeekSwitchCost(kind SwitchKind) ticks.Ticks {
-	return k.costs.Sample(kind, k.rng)
+	return k.costs.Sample(kind, k.peek)
 }
 
 // CacheRefill reports the configured cold-cache resume penalty.

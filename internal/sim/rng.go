@@ -21,6 +21,22 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// SplitSeed derives a decorrelated child seed from seed for substream
+// number stream, via one splitmix64 step (Steele, Lea & Flood 2014).
+// Substreams let one run seed drive several independent generators —
+// the kernel's main cost stream, the read-only PeekSwitchCost probe
+// stream, workload parameter jitter — without the streams consuming
+// from (and so perturbing) each other.
+func SplitSeed(seed, stream uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*(stream+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

@@ -1,0 +1,251 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// admission-latency histogram geometry, shared by every cell so
+// Histogram.Merge always sees matching grids: 0-120 ms in 5 ms bins.
+const (
+	admHistLo    = 0
+	admHistWidth = 5
+	admHistBins  = 24
+)
+
+// Key identifies one aggregation cell of the matrix.
+type Key struct {
+	Scenario  string
+	CostModel string
+	Policy    string
+}
+
+// Cell aggregates every run of one (scenario, cost model, policy)
+// combination across seeds.
+type Cell struct {
+	Key
+
+	Runs       int
+	Errors     int
+	FirstError string
+	Denied     int64
+
+	Misses         metrics.Summary // deadline misses per run
+	LossRate       metrics.Summary // unplanned loss / opportunities per run
+	Utilization    metrics.Summary
+	SwitchOverhead metrics.Summary
+	InterruptLoad  metrics.Summary
+	AdmissionMS    metrics.Summary // per admitted task, pooled over runs
+	AdmissionHist  *metrics.Histogram
+}
+
+func newCell(k Key) *Cell {
+	return &Cell{Key: k, AdmissionHist: metrics.NewHistogram(admHistLo, admHistWidth, admHistBins)}
+}
+
+// add folds one run into the cell. Failed runs count toward Runs and
+// Errors but contribute no measurements.
+func (c *Cell) add(r RunMetrics) {
+	c.Runs++
+	if r.Err != "" {
+		c.Errors++
+		if c.FirstError == "" {
+			c.FirstError = r.Err
+		}
+		return
+	}
+	c.Denied += r.Denied
+	c.Misses.Add(float64(r.Misses))
+	c.LossRate.Add(r.LossRate())
+	c.Utilization.Add(r.Utilization)
+	c.SwitchOverhead.Add(r.SwitchOverhead)
+	c.InterruptLoad.Add(r.InterruptLoad)
+	for _, v := range r.AdmissionMS {
+		c.AdmissionMS.Add(v)
+		c.AdmissionHist.Add(v)
+	}
+}
+
+// merge folds another cell (same key) into c, preserving o's sample
+// order after c's own.
+func (c *Cell) merge(o *Cell) {
+	c.Runs += o.Runs
+	c.Errors += o.Errors
+	if c.FirstError == "" {
+		c.FirstError = o.FirstError
+	}
+	c.Denied += o.Denied
+	c.Misses.Merge(&o.Misses)
+	c.LossRate.Merge(&o.LossRate)
+	c.Utilization.Merge(&o.Utilization)
+	c.SwitchOverhead.Merge(&o.SwitchOverhead)
+	c.InterruptLoad.Merge(&o.InterruptLoad)
+	c.AdmissionMS.Merge(&o.AdmissionMS)
+	c.AdmissionHist.Merge(o.AdmissionHist)
+}
+
+// Result is a sweep's aggregated output: cells in first-appearance
+// (i.e. matrix-expansion) order.
+type Result struct {
+	TotalRuns int
+	cells     []*Cell
+	index     map[Key]*Cell
+}
+
+func newResult() *Result { return &Result{index: make(map[Key]*Cell)} }
+
+func (r *Result) cell(k Key) *Cell {
+	if c, ok := r.index[k]; ok {
+		return c
+	}
+	c := newCell(k)
+	r.cells = append(r.cells, c)
+	r.index[k] = c
+	return c
+}
+
+func (r *Result) add(spec RunSpec, m RunMetrics) {
+	r.cell(Key{spec.Scenario, spec.CostModel, spec.Policy}).add(m)
+}
+
+// Merge folds o into r cell by cell, in o's cell order. Merging
+// partial results in a fixed order is what makes the aggregate
+// independent of how runs were distributed over workers.
+func (r *Result) Merge(o *Result) {
+	r.TotalRuns += o.TotalRuns
+	for _, oc := range o.cells {
+		r.cell(oc.Key).merge(oc)
+	}
+}
+
+// Cells returns the aggregation cells in matrix-expansion order.
+func (r *Result) Cells() []*Cell { return append([]*Cell(nil), r.cells...) }
+
+// Errors reports the total failed runs.
+func (r *Result) Errors() int {
+	n := 0
+	for _, c := range r.cells {
+		n += c.Errors
+	}
+	return n
+}
+
+// Table renders the human-readable summary: one row per cell.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-10s %-12s %5s %4s %8s %8s %7s %7s %7s %8s %8s\n",
+		"scenario", "costs", "policy", "runs", "err",
+		"loss%", "misses", "util%", "sw%", "irq%", "adm p50", "adm p99")
+	for _, c := range r.cells {
+		fmt.Fprintf(&b, "%-10s %-10s %-12s %5d %4d %8.3f %8.2f %7.2f %7.3f %7.3f %7.1fms %7.1fms\n",
+			c.Scenario, c.CostModel, c.Policy, c.Runs, c.Errors,
+			c.LossRate.Mean()*100, c.Misses.Mean(),
+			c.Utilization.Mean()*100, c.SwitchOverhead.Mean()*100, c.InterruptLoad.Mean()*100,
+			c.AdmissionMS.Percentile(50), c.AdmissionMS.Percentile(99))
+	}
+	for _, c := range r.cells {
+		if c.FirstError != "" {
+			fmt.Fprintf(&b, "! %s/%s/%s: %d failed run(s); first: %s\n",
+				c.Scenario, c.CostModel, c.Policy, c.Errors, c.FirstError)
+		}
+	}
+	return b.String()
+}
+
+// --- machine-readable output ---
+
+// JSON schema version tag; bump on incompatible changes.
+const SchemaVersion = "rdsweep/v1"
+
+type summaryJSON struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+}
+
+func summarize(s *metrics.Summary) summaryJSON {
+	return summaryJSON{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Stddev: s.Stddev(),
+		Min:    s.Min(),
+		P50:    s.Percentile(50),
+		P90:    s.Percentile(90),
+		P99:    s.Percentile(99),
+		Max:    s.Max(),
+	}
+}
+
+type histJSON struct {
+	Lo     float64 `json:"lo"`
+	Width  float64 `json:"width"`
+	N      int64   `json:"n"`
+	Counts []int64 `json:"counts"`
+}
+
+type cellJSON struct {
+	Scenario   string `json:"scenario"`
+	CostModel  string `json:"cost_model"`
+	Policy     string `json:"policy"`
+	Runs       int    `json:"runs"`
+	Errors     int    `json:"errors"`
+	FirstError string `json:"first_error,omitempty"`
+	Denied     int64  `json:"denied_admissions"`
+
+	Misses         summaryJSON `json:"misses_per_run"`
+	LossRate       summaryJSON `json:"unplanned_loss_rate"`
+	Utilization    summaryJSON `json:"utilization"`
+	SwitchOverhead summaryJSON `json:"switch_overhead"`
+	InterruptLoad  summaryJSON `json:"interrupt_load"`
+	AdmissionMS    summaryJSON `json:"admission_latency_ms"`
+	AdmissionHist  histJSON    `json:"admission_latency_hist"`
+}
+
+type resultJSON struct {
+	Schema    string     `json:"schema"`
+	TotalRuns int        `json:"total_runs"`
+	Cells     []cellJSON `json:"cells"`
+}
+
+// WriteJSON serializes the result. The output carries no timestamps
+// or host details and the cells are emitted in deterministic order,
+// so two equivalent sweeps produce byte-identical files — the
+// worker-invariance contract is checked with plain cmp/bytes.Equal.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := resultJSON{Schema: SchemaVersion, TotalRuns: r.TotalRuns}
+	for _, c := range r.cells {
+		out.Cells = append(out.Cells, cellJSON{
+			Scenario:       c.Scenario,
+			CostModel:      c.CostModel,
+			Policy:         c.Policy,
+			Runs:           c.Runs,
+			Errors:         c.Errors,
+			FirstError:     c.FirstError,
+			Denied:         c.Denied,
+			Misses:         summarize(&c.Misses),
+			LossRate:       summarize(&c.LossRate),
+			Utilization:    summarize(&c.Utilization),
+			SwitchOverhead: summarize(&c.SwitchOverhead),
+			InterruptLoad:  summarize(&c.InterruptLoad),
+			AdmissionMS:    summarize(&c.AdmissionMS),
+			AdmissionHist: histJSON{
+				Lo:     c.AdmissionHist.Lo,
+				Width:  c.AdmissionHist.Width,
+				N:      c.AdmissionHist.N(),
+				Counts: c.AdmissionHist.Counts,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,262 @@
+// Package sweep is the Monte-Carlo experiment engine over the
+// Resource Distributor: it expands a matrix of (scenario ×
+// switch-cost model × policy × seed) into independent simulation
+// runs, executes them on a bounded worker pool — one single-goroutine
+// sim.Kernel per run, sharing no state (see the isolation audit in
+// sweep_test.go) — and folds the per-run measurements into mergeable
+// per-cell aggregates: deadline misses, unplanned-loss rate,
+// utilization, switch-overhead fraction, interrupt load, denied
+// admissions and admission-latency percentiles.
+//
+// The aggregates are worker-count invariant by construction. Float
+// addition is not associative, so the engine never lets the
+// nondeterministic job→worker assignment decide a summation order:
+// workers only write RunMetrics into an index-addressed slice, and
+// aggregation happens afterwards in fixed-size chunks merged in spec
+// order (Summary.Merge / Histogram.Merge). `rdsweep -workers 1` and
+// `rdsweep -workers 16` produce byte-identical JSON.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/ticks"
+)
+
+// RunSpec identifies one simulation run of the matrix.
+type RunSpec struct {
+	Index     int    // position in the expanded matrix
+	Scenario  string // registered scenario name
+	CostModel string // registered switch-cost model name
+	Policy    string // policy variant (PolicyInvent, ...)
+	Seed      uint64
+	Horizon   ticks.Ticks
+}
+
+// RunMetrics is what one run reports back to the aggregator. A run
+// that failed carries only Err; its measurements are excluded from
+// the cell summaries (but counted in Cell.Errors).
+type RunMetrics struct {
+	Err string
+
+	Misses        int64 // deadline misses (guarantee violations)
+	Loss          int64 // scenario-defined unplanned quality loss events
+	Opportunities int64 // denominator for Loss (frames, periods, ...)
+	Denied        int64 // admission requests the RM turned away
+
+	Utilization    float64 // busy / elapsed
+	SwitchOverhead float64 // switch ticks / elapsed (§6.1's 0.7% figure)
+	InterruptLoad  float64 // interrupt ticks / elapsed (§5.2 reserve check)
+
+	AdmissionMS []float64 // admittance→first period, per admitted task, ms
+}
+
+// LossRate reports Loss/Opportunities, or 0 when nothing was at stake.
+func (r RunMetrics) LossRate() float64 {
+	if r.Opportunities == 0 {
+		return 0
+	}
+	return float64(r.Loss) / float64(r.Opportunities)
+}
+
+// Matrix describes a sweep: the cross product of its dimensions.
+type Matrix struct {
+	Scenarios  []string // scenario names; nil means all registered
+	CostModels []string // cost-model names; nil means DefaultCostModels
+	Policies   []string // policy variants; nil means all
+	Seeds      []uint64 // one run per seed per cell
+	Horizon    ticks.Ticks
+}
+
+// DefaultHorizon is the simulated duration per run when the matrix
+// does not specify one: two virtual seconds.
+const DefaultHorizon = 2 * ticks.PerSecond
+
+// SeedRange returns n consecutive seeds starting at base — the usual
+// way to populate Matrix.Seeds. (Runs decorrelate internally via
+// sim.SplitSeed substreams, so consecutive seeds are fine.)
+func SeedRange(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}
+
+// Specs validates the matrix and expands it into the run list, in
+// deterministic order: scenario, then cost model, then policy, then
+// seed. (scenario, policy) combinations the scenario does not support
+// are skipped, so "all policies" is a request, not a constraint.
+func (m Matrix) Specs() ([]RunSpec, error) {
+	scs := m.Scenarios
+	if len(scs) == 0 {
+		scs = ScenarioNames()
+	}
+	cms := m.CostModels
+	if len(cms) == 0 {
+		cms = DefaultCostModels()
+	}
+	pols := m.Policies
+	if len(pols) == 0 {
+		pols = AllPolicies()
+	}
+	if len(m.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep: matrix has no seeds")
+	}
+	horizon := m.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+
+	var specs []RunSpec
+	for _, scName := range scs {
+		sc, ok := scenarioByName(scName)
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown scenario %q (have %v)", scName, ScenarioNames())
+		}
+		for _, cm := range cms {
+			if _, ok := costModelByName(cm); !ok {
+				return nil, fmt.Errorf("sweep: unknown cost model %q (have %v)", cm, CostModelNames())
+			}
+			for _, pol := range pols {
+				if !knownPolicy(pol) {
+					return nil, fmt.Errorf("sweep: unknown policy %q (have %v)", pol, AllPolicies())
+				}
+				if !sc.supports(pol) {
+					continue
+				}
+				for _, seed := range m.Seeds {
+					specs = append(specs, RunSpec{
+						Index:     len(specs),
+						Scenario:  sc.Name,
+						CostModel: cm,
+						Policy:    pol,
+						Seed:      seed,
+						Horizon:   horizon,
+					})
+				}
+			}
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sweep: matrix expands to zero runs (no scenario supports the requested policies)")
+	}
+	return specs, nil
+}
+
+// Options controls sweep execution.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS.
+	// The result does not depend on this value.
+	Workers int
+
+	// Progress, when non-nil, is called after each run completes with
+	// (done, total). Calls come from worker goroutines.
+	Progress func(done, total int)
+}
+
+// aggChunk is the fixed aggregation granularity: runs are folded into
+// partial cells in chunks of this many specs, and the partials are
+// merged in spec order. The chunk size is a constant — never derived
+// from the worker count — so the float accumulation order is a pure
+// function of the spec list.
+const aggChunk = 64
+
+// Run executes the matrix and returns the aggregated result.
+func Run(m Matrix, opt Options) (*Result, error) {
+	specs, err := m.Specs()
+	if err != nil {
+		return nil, err
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	out := make([]RunMetrics, len(specs))
+	jobs := make(chan int)
+	var done sync.WaitGroup
+	var progressMu sync.Mutex
+	completed := 0
+	done.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer done.Done()
+			for i := range jobs {
+				out[i] = runOne(specs[i])
+				if opt.Progress != nil {
+					progressMu.Lock()
+					completed++
+					n := completed
+					progressMu.Unlock()
+					opt.Progress(n, len(specs))
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	done.Wait()
+
+	// Deterministic aggregation: fixed chunks, merged in spec order.
+	total := newResult()
+	for lo := 0; lo < len(specs); lo += aggChunk {
+		hi := lo + aggChunk
+		if hi > len(specs) {
+			hi = len(specs)
+		}
+		part := newResult()
+		for i := lo; i < hi; i++ {
+			part.add(specs[i], out[i])
+		}
+		total.Merge(part)
+	}
+	total.TotalRuns = len(specs)
+	return total, nil
+}
+
+// runOne executes a single run in isolation. A panic inside the
+// simulation is captured as the run's Err rather than killing the
+// sweep.
+func runOne(spec RunSpec) (out RunMetrics) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = RunMetrics{Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	sc, ok := scenarioByName(spec.Scenario)
+	if !ok {
+		return RunMetrics{Err: fmt.Sprintf("unknown scenario %q", spec.Scenario)}
+	}
+	costs, ok := costModelByName(spec.CostModel)
+	if !ok {
+		return RunMetrics{Err: fmt.Sprintf("unknown cost model %q", spec.CostModel)}
+	}
+	e := &env{spec: spec, costs: costs, pr: newProbe()}
+	if err := sc.run(e); err != nil {
+		return RunMetrics{Err: err.Error()}
+	}
+	if e.d == nil {
+		return RunMetrics{Err: "scenario never started a distributor"}
+	}
+
+	st := e.d.KernelStats()
+	out.Misses = e.pr.misses
+	out.Denied = e.denied
+	out.Utilization = st.Utilization()
+	out.SwitchOverhead = st.SwitchOverheadFraction()
+	out.InterruptLoad = st.InterruptLoadFraction()
+	out.AdmissionMS = e.admissionLatenciesMS()
+	if e.quality != nil {
+		e.quality(&out)
+	}
+	return out
+}
