@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet fuzz-smoke sweep-smoke ci
+.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke ci
 
 all: build test lint
 
@@ -30,6 +30,7 @@ vet:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzFracAdd -fuzztime=10s ./internal/ticks
 	$(GO) test -run=NONE -fuzz=FuzzTickConversions -fuzztime=10s ./internal/ticks
+	$(GO) test -run=NONE -fuzz=FuzzBoxLoad -fuzztime=10s ./internal/policy
 	$(GO) test -run=TestScenarioFuzz -count=1 ./internal/core
 
 # Parallel sweep engine smoke: the engine's own tests under the race
@@ -42,4 +43,16 @@ sweep-smoke:
 	cmp sweep-w4.json sweep-w1.json
 	rm -f sweep-w4.json sweep-w1.json
 
-ci: build vet test race lint fuzz-smoke sweep-smoke
+# Fault-injection smoke (see docs/FAULTS.md): the injector and
+# invariant-checker suites under the race detector, then the fault
+# scenario family through rdsweep on 4 workers and on 1, asserting
+# byte-identical JSON — armed injectors must not break the
+# worker-invariance contract.
+fault-smoke:
+	$(GO) test -race -count=1 ./internal/fault/... ./internal/invariant/...
+	$(GO) run -race ./cmd/rdsweep -scenarios fault -seeds 8 -workers 4 -horizon-ms 500 -quiet -json fault-w4.json
+	$(GO) run -race ./cmd/rdsweep -scenarios fault -seeds 8 -workers 1 -horizon-ms 500 -quiet -json fault-w1.json
+	cmp fault-w4.json fault-w1.json
+	rm -f fault-w4.json fault-w1.json
+
+ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke

@@ -8,6 +8,7 @@
 //
 //	go run ./cmd/rdsweep -scenarios all -seeds 64 -workers 8
 //	go run ./cmd/rdsweep -scenarios settop,overload -costs paper -json sweep.json
+//	go run ./cmd/rdsweep -scenarios fault -seeds 32   # the fault-injection family
 //	go run ./cmd/rdsweep -list
 package main
 
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		scenariosFlag = flag.String("scenarios", "all", "comma-separated scenario names, or 'all' (see -list)")
+		scenariosFlag = flag.String("scenarios", "all", "comma-separated scenario names, 'all', or the family name 'fault' for every fault-* scenario (see -list)")
 		costsFlag     = flag.String("costs", strings.Join(sweep.DefaultCostModels(), ","), "comma-separated switch-cost models, or 'all'")
 		policiesFlag  = flag.String("policies", "all", "comma-separated policy variants, or 'all'")
 		seedsFlag     = flag.Int("seeds", 16, "number of seeds per cell")

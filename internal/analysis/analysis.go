@@ -120,6 +120,8 @@ var DeterministicPackages = []string{
 	"repro/internal/policy",
 	"repro/internal/baseline",
 	"repro/internal/sweep",
+	"repro/internal/fault",
+	"repro/internal/invariant",
 }
 
 // AdmissionPackages lists the packages whose arithmetic decides

@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// Golden SHA-256 hashes of the runStudioTrace serialization, captured
+// before the fault-injection layer existed. With every injector
+// disabled (the default), the simulation must keep producing these
+// exact bytes: fault hooks draw from their own SplitSeed substreams
+// precisely so that NOT arming them costs nothing — no extra RNG
+// draws, no reordered events, no changed switch costs. A diff here
+// means a disabled fault path leaked into the unfaulted trace.
+var goldenStudioTraces = map[uint64]string{
+	7:    "c5e6d66b3df4756ea4bdb240ffae2a6a518a776306db1bb54b7a54d812f08047",
+	1999: "7231ef8e292282f2e5efbf36da7f40d25b02f77c6f6040e0db8a8d07d0030c77",
+	2026: "b14bee323c2ef2538063a771089639cfcd1d1c13142d6da75a83d7ed14116414",
+}
+
+func TestStudioTraceMatchesGolden(t *testing.T) {
+	for seed, want := range goldenStudioTraces {
+		sum := sha256.Sum256(runStudioTrace(t, seed))
+		if got := hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("seed %d: trace hash %s, want golden %s — the unfaulted trace changed",
+				seed, got, want)
+		}
+	}
+}

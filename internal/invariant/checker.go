@@ -1,0 +1,323 @@
+// Package invariant implements a runtime guarantee checker for the
+// ETI Resource Distributor. It rides the scheduler's Observer stream
+// and independently re-derives the paper's contracts, so a fault —
+// injected (internal/fault) or genuine — that breaks a guarantee is
+// recorded rather than silently absorbed:
+//
+//   - Every granted task receives its grant each period, or the miss
+//     is recorded (OnDeadlineMiss), or the task voluntarily completed
+//     or blocked (§4.2 voids guarantees while blocked). A period that
+//     ends short of its grant with none of those is a silent miss.
+//   - The committed grant fractions never exceed the schedulable CPU
+//     (§4.1's admission and grant arithmetic).
+//   - The Scheduler's structural invariants hold: budgets conserved,
+//     queues consistent, no dangling grant assignments after removal
+//     (sched.Audit).
+//
+// The Checker never panics and never mutates the system it watches; it
+// records Violations with trace cursors and keeps going, exactly so
+// fault scenarios can run to completion and report everything found.
+// It chains to an inner Observer, so tracing keeps working underneath.
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/rm"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// Cursor locates a violation in the observer event stream: Seq is the
+// ordinal of the observer callback that exposed it (counting every
+// callback the Checker received), At the virtual time.
+type Cursor struct {
+	Seq int64
+	At  ticks.Ticks
+}
+
+// Violation is one detected guarantee breach.
+type Violation struct {
+	Kind   string  // "silent-miss", "overcommit", "structural", "stuck-period"
+	Task   task.ID // task.NoID for system-wide breaches
+	At     ticks.Ticks
+	Cursor Cursor
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%d @%d] %s task=%d: %s", v.Cursor.Seq, int64(v.At), v.Kind, int64(v.Task), v.Detail)
+}
+
+// period tracks one open period of one task, from its OnPeriodStart to
+// the OnPeriodStart that closes it.
+type period struct {
+	start, deadline ticks.Ticks
+	cpu             ticks.Ticks // granted CPU this period
+	delivered       ticks.Ticks // granted+grace CPU observed via OnDispatch
+	missRecorded    bool        // the scheduler charged a recorded miss
+	voided          bool        // the task blocked: guarantees void (§4.2)
+	wentOvertime    bool        // the task ran overtime: it declared its grant done
+}
+
+// Checker is a sched.Observer that audits the guarantees as they are
+// (or are not) delivered. Construct with New, wire as the system's
+// Observer, then Bind the assembled components.
+type Checker struct {
+	next sched.Observer
+
+	k *sim.Kernel
+	m *rm.Manager
+	s *sched.Scheduler
+
+	log *metrics.EventLog // optional mirror of violations
+
+	seq        int64
+	open       map[task.ID]*period
+	violations []Violation
+	seen       map[string]bool // dedupe for repeating structural findings
+
+	periodsClosed int64
+}
+
+var _ sched.Observer = (*Checker)(nil)
+
+// New builds a Checker that forwards every event to next (nil for
+// none). Call Bind before running the system.
+func New(next sched.Observer) *Checker {
+	return &Checker{
+		next: next,
+		open: make(map[task.ID]*period),
+		seen: make(map[string]bool),
+	}
+}
+
+// Bind attaches the assembled system so the Checker can cross-examine
+// it (grant sums from the Manager, structural audits and per-period
+// accounting from the Scheduler). Any argument may be nil; the checks
+// needing it are skipped.
+func (c *Checker) Bind(k *sim.Kernel, m *rm.Manager, s *sched.Scheduler) {
+	c.k, c.m, c.s = k, m, s
+}
+
+// LogTo mirrors every violation into l as an event with kind
+// "invariant.<Kind>". Pass nil to stop mirroring.
+func (c *Checker) LogTo(l *metrics.EventLog) { c.log = l }
+
+// Violations returns a copy of everything recorded so far, in
+// detection order.
+func (c *Checker) Violations() []Violation {
+	out := make([]Violation, len(c.violations))
+	copy(out, c.violations)
+	return out
+}
+
+// PeriodsClosed reports how many periods the Checker has audited —
+// tests use it to prove the checker actually saw the workload.
+func (c *Checker) PeriodsClosed() int64 { return c.periodsClosed }
+
+func (c *Checker) report(kind string, id task.ID, at ticks.Ticks, detail string) {
+	v := Violation{
+		Kind:   kind,
+		Task:   id,
+		At:     at,
+		Cursor: Cursor{Seq: c.seq, At: at},
+		Detail: detail,
+	}
+	c.violations = append(c.violations, v)
+	if c.log != nil {
+		c.log.Record(at, "invariant."+kind, v.String())
+	}
+}
+
+// --- sched.Observer ---
+
+// OnDispatch accumulates delivered granted CPU. Only the outer
+// DispatchGranted and DispatchGrace spans count: DispatchSporadic
+// spans are nested inside a server's or assigner's granted span and
+// would double-count, and overtime/idle are not grant delivery.
+func (c *Checker) OnDispatch(id task.ID, name string, from, to ticks.Ticks, kind sched.DispatchKind, level int) {
+	c.seq++
+	switch kind {
+	case sched.DispatchGranted, sched.DispatchGrace:
+		if p, ok := c.open[id]; ok {
+			p.delivered += to - from
+		}
+	case sched.DispatchOvertime:
+		// Requesting overtime declares the granted work done (§4.2's
+		// OvertimeRequested queue holds tasks "that ran out of grant");
+		// a task observed running overtime relinquished whatever grant
+		// it had left, so a shortfall this period is voluntary.
+		if p, ok := c.open[id]; ok {
+			p.wentOvertime = true
+		}
+	}
+	if c.next != nil {
+		c.next.OnDispatch(id, name, from, to, kind, level)
+	}
+}
+
+// OnPeriodStart closes the task's previous period (auditing it) and
+// opens the new one. It also runs the system-wide checks — committed
+// fraction and structural audit — at what is the natural heartbeat of
+// the schedule.
+func (c *Checker) OnPeriodStart(id task.ID, start, deadline ticks.Ticks, level int, cpu ticks.Ticks) {
+	c.seq++
+	if p, ok := c.open[id]; ok {
+		c.closePeriod(id, p, start)
+	}
+	c.open[id] = &period{start: start, deadline: deadline, cpu: cpu}
+	c.checkCommitted(start)
+	c.checkStructure(start)
+	if c.next != nil {
+		c.next.OnPeriodStart(id, start, deadline, level, cpu)
+	}
+}
+
+// OnDeadlineMiss marks the open period as charged: the scheduler
+// recorded the violation, which is exactly what the paper's contract
+// requires of an overloaded or misbehaving configuration.
+func (c *Checker) OnDeadlineMiss(id task.ID, deadline, undelivered ticks.Ticks) {
+	c.seq++
+	if p, ok := c.open[id]; ok {
+		p.missRecorded = true
+	}
+	if c.next != nil {
+		c.next.OnDeadlineMiss(id, deadline, undelivered)
+	}
+}
+
+func (c *Checker) OnSwitch(kind sim.SwitchKind, cost ticks.Ticks) {
+	c.seq++
+	if c.next != nil {
+		c.next.OnSwitch(kind, cost)
+	}
+}
+
+func (c *Checker) OnGrantApplied(id task.ID, g rm.Grant) {
+	c.seq++
+	c.checkCommitted(c.now())
+	if c.next != nil {
+		c.next.OnGrantApplied(id, g)
+	}
+}
+
+// OnBlock voids the open period: §4.2 suspends guarantees from the
+// block until the first full period after waking, and the scheduler
+// resumes OnPeriodStart emission only then.
+func (c *Checker) OnBlock(id task.ID, at ticks.Ticks) {
+	c.seq++
+	if p, ok := c.open[id]; ok {
+		p.voided = true
+	}
+	if c.next != nil {
+		c.next.OnBlock(id, at)
+	}
+}
+
+// --- the checks ---
+
+// closePeriod audits one finished period. A period is satisfied when
+// the grant was delivered, or the miss was recorded, or guarantees
+// were void (blocked), or the body declared its work complete (it
+// voluntarily declined the rest of its grant). Anything else is a
+// silent miss: CPU the task was guaranteed, did not get, and no record
+// of the failure anywhere.
+func (c *Checker) closePeriod(id task.ID, p *period, at ticks.Ticks) {
+	delete(c.open, id)
+	c.periodsClosed++
+	if p.voided || p.missRecorded || p.wentOvertime || p.delivered >= p.cpu {
+		return
+	}
+	if c.s != nil {
+		if _, completed, ok := c.s.PrevPeriod(id); ok && completed {
+			return
+		}
+	}
+	c.report("silent-miss", id, at, fmt.Sprintf(
+		"period [%d,%d) delivered %d of granted %d with no recorded miss, block, or completion",
+		int64(p.start), int64(p.deadline), int64(p.delivered), int64(p.cpu)))
+}
+
+// checkCommitted asserts the committed grant fractions fit the
+// schedulable CPU. The Manager's own arithmetic keeps the sum at or
+// under its (possibly pressure-degraded) capacity; the Checker
+// re-derives the sum independently and compares against the full
+// schedulable fraction, which upper-bounds every legal capacity.
+func (c *Checker) checkCommitted(at ticks.Ticks) {
+	if c.m == nil {
+		return
+	}
+	gs := c.m.Grants()
+	sum := ticks.FracZero
+	for _, id := range gs.IDs() {
+		sum = sum.Add(gs[id].Entry.Frac())
+	}
+	if sum.LessOrEqual(c.m.Available()) {
+		return
+	}
+	detail := fmt.Sprintf("committed fraction %.6f exceeds schedulable %.6f",
+		sum.Float(), c.m.Available().Float())
+	if c.seen[detail] {
+		return
+	}
+	c.seen[detail] = true
+	c.report("overcommit", task.NoID, at, detail)
+}
+
+// checkStructure runs the Scheduler's structural audit and records
+// each fresh finding once (the same broken bookkeeping would otherwise
+// flood the log every period).
+func (c *Checker) checkStructure(at ticks.Ticks) {
+	if c.s == nil {
+		return
+	}
+	for _, f := range c.s.Audit().Findings {
+		if c.seen[f] {
+			continue
+		}
+		c.seen[f] = true
+		c.report("structural", task.NoID, at, f)
+	}
+}
+
+// Finish audits what a run's end leaves behind: a final structural
+// audit, plus a check that no still-scheduled task sits on a period
+// whose deadline passed without the scheduler ever rolling it (a stuck
+// period — the rollover machinery itself failed, so neither a miss nor
+// a new period was ever recorded). Call it after the run completes;
+// the sweep harness does.
+func (c *Checker) Finish() {
+	now := c.now()
+	c.checkStructure(now)
+	c.checkCommitted(now)
+	if c.s == nil {
+		return
+	}
+	for _, id := range c.s.TaskIDs() {
+		p, ok := c.open[id]
+		if !ok {
+			continue
+		}
+		// Lazy boundary processing (§6.1) legitimately leaves a deadline
+		// up to about one period behind the clock at the horizon; a
+		// rollover more than a full period overdue means the machinery
+		// failed, not that it simply had not woken yet.
+		if p.voided || now <= p.deadline+(p.deadline-p.start) {
+			continue
+		}
+		c.report("stuck-period", id, now, fmt.Sprintf(
+			"period [%d,%d) deadline passed %d ticks ago and was never rolled",
+			int64(p.start), int64(p.deadline), int64(now-p.deadline)))
+	}
+}
+
+func (c *Checker) now() ticks.Ticks {
+	if c.k == nil {
+		return 0
+	}
+	return c.k.Now()
+}

@@ -76,11 +76,19 @@ func (b *Box) Save(w io.Writer) error {
 // names and installing both layers. Loading into a non-empty Box
 // merges: existing registrations are reused by name; same-set
 // policies are replaced.
+//
+// Load is atomic: the file is staged into a scratch copy and committed
+// only if every record validates. On error b is untouched — a
+// truncated defaults file, a record with an empty or duplicated member
+// set, or an invalid ranking can never leave the Box half-mutated
+// (the Resource Manager would then consult a policy table that exists
+// in no file anywhere).
 func (b *Box) Load(r io.Reader) error {
 	var f FileFormat
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return fmt.Errorf("policy: load: %w", err)
 	}
+	tmp := b.clone()
 	// Register names in their saved ID order so member IDs stay
 	// stable for a fresh box (merge into a used box just re-registers
 	// by name).
@@ -88,10 +96,22 @@ func (b *Box) Load(r io.Reader) error {
 	for n := range f.Tasks {
 		names = append(names, n)
 	}
-	sort.Slice(names, func(i, j int) bool { return f.Tasks[names[i]] < f.Tasks[names[j]] })
+	sort.Slice(names, func(i, j int) bool {
+		if ti, tj := f.Tasks[names[i]], f.Tasks[names[j]]; ti != tj {
+			return ti < tj
+		}
+		return names[i] < names[j]
+	})
 	for _, n := range names {
-		b.Register(n)
+		if n == "" {
+			return fmt.Errorf("policy: load: empty task name in tasks table")
+		}
+		tmp.Register(n)
 	}
+	// Within one layer a member set may appear only once; a duplicate
+	// means a corrupted or hand-mangled file, and silently letting the
+	// last record win would hide the corruption.
+	seen := make(map[string]bool)
 	install := func(rec PolicyRecord, override bool) error {
 		p := Policy{Shares: make(Ranking, len(rec.Shares))}
 		// Register assigns fresh MemberIDs on first sight, so iterate
@@ -102,25 +122,64 @@ func (b *Box) Load(r io.Reader) error {
 		}
 		sort.Strings(recNames)
 		for _, name := range recNames {
-			p.Shares[b.Register(name)] = rec.Shares[name]
+			if name == "" {
+				return fmt.Errorf("empty task name in ranking")
+			}
+			p.Shares[tmp.Register(name)] = rec.Shares[name]
 		}
 		if rec.Exclusive != "" {
-			p.Exclusive = b.Register(rec.Exclusive)
+			p.Exclusive = tmp.Register(rec.Exclusive)
 		}
+		key := keyOf(p.Members())
+		if seen[key] {
+			return fmt.Errorf("duplicate policy for member set {%s}", key)
+		}
+		seen[key] = true
 		if override {
-			return b.SetOverride(p)
+			return tmp.SetOverride(p)
 		}
-		return b.SetDefault(p)
+		return tmp.SetDefault(p)
 	}
 	for i, rec := range f.Defaults {
 		if err := install(rec, false); err != nil {
 			return fmt.Errorf("policy: load defaults[%d]: %w", i, err)
 		}
 	}
+	// Overrides legitimately re-cover sets the defaults define; only
+	// duplicates within the override layer are rejected.
+	seen = make(map[string]bool)
 	for i, rec := range f.Overrides {
 		if err := install(rec, true); err != nil {
 			return fmt.Errorf("policy: load overrides[%d]: %w", i, err)
 		}
 	}
+	*b = *tmp
 	return nil
+}
+
+// clone returns a private copy of the Box for Load to stage into. The
+// maps are fresh; Policy values are copied as-is, which is safe
+// because stored policies are only ever replaced whole, never mutated
+// in place.
+func (b *Box) clone() *Box {
+	c := &Box{
+		nextID:  b.nextID,
+		byName:  make(map[string]MemberID, len(b.byName)),
+		names:   make(map[MemberID]string, len(b.names)),
+		builtin: make(map[string]Policy, len(b.builtin)),
+		user:    make(map[string]Policy, len(b.user)),
+	}
+	for k, v := range b.byName {
+		c.byName[k] = v
+	}
+	for k, v := range b.names {
+		c.names[k] = v
+	}
+	for k, v := range b.builtin {
+		c.builtin[k] = v
+	}
+	for k, v := range b.user {
+		c.user[k] = v
+	}
+	return c
 }

@@ -1,0 +1,130 @@
+package rm
+
+import (
+	"testing"
+
+	"repro/internal/ticks"
+)
+
+// Pressure narrows the capacity the grant computation distributes:
+// tasks shed resource-list levels, deterministically, and the decision
+// is recorded. Lifting the pressure restores the original grants.
+func TestPressureShedsGrantsAndRestores(t *testing.T) {
+	m := New(Config{})
+	a, err := m.RequestAdmittance(mpegTask()) // max 1/3, min 1/6
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.RequestAdmittance(graphics3DTask()) // max 80%, min 10%
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := m.Grants()
+	if before[a].Level != 0 && before[b].Level != 0 {
+		// One of the two must be shed already (max sum > 100%): fine,
+		// the test cares about the delta under pressure.
+		t.Logf("baseline already on the policy path: levels %d/%d", before[a].Level, before[b].Level)
+	}
+	baseSum := before[a].Entry.Frac().Add(before[b].Entry.Frac())
+
+	// Withhold 40% of the CPU.
+	m.SetPressure(1000, ticks.FracPercent(40), "test: interrupt storm")
+	during := m.Grants()
+	sum := during[a].Entry.Frac().Add(during[b].Entry.Frac())
+	if !sum.LessOrEqual(m.capacityForGrants()) {
+		t.Errorf("degraded grants sum %.4f exceeds degraded capacity %.4f",
+			sum.Float(), m.capacityForGrants().Float())
+	}
+	if sum.Cmp(baseSum) >= 0 {
+		t.Errorf("pressure did not shed anything: %.4f -> %.4f", baseSum.Float(), sum.Float())
+	}
+	// Minimums survive: §4.1's guarantee is not negotiable.
+	if during[a].Entry.Frac().Cmp(mpegTask().List.MinFrac()) < 0 {
+		t.Error("task a granted below its admitted minimum")
+	}
+	if during[b].Entry.Frac().Cmp(graphics3DTask().List.MinFrac()) < 0 {
+		t.Error("task b granted below its admitted minimum")
+	}
+
+	evs := m.DegradationEvents()
+	if len(evs) != 1 {
+		t.Fatalf("recorded %d degradation events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.At != 1000 || ev.Reason != "test: interrupt storm" {
+		t.Errorf("event = %+v, want At=1000 and the given reason", ev)
+	}
+	if !ev.PolicyConsulted {
+		t.Error("shed decision did not consult the Policy Box")
+	}
+	if ev.Generation != 1 {
+		t.Errorf("generation %d, want 1", ev.Generation)
+	}
+
+	// Re-asserting the same pressure is a no-op (governors re-assert
+	// every sample interval).
+	m.SetPressure(2000, ticks.FracPercent(40), "test: still storming")
+	if got := len(m.DegradationEvents()); got != 1 {
+		t.Errorf("re-asserting identical pressure logged %d events, want 1", got)
+	}
+
+	// Lifting the pressure restores the original grant set.
+	m.SetPressure(3000, ticks.FracZero, "test: storm over")
+	after := m.Grants()
+	if after[a] != before[a] || after[b] != before[b] {
+		t.Errorf("grants not restored after pressure lifted: %+v vs %+v", after, before)
+	}
+	if got := m.Generation(); got != 2 {
+		t.Errorf("generation %d after lift, want 2", got)
+	}
+}
+
+// The minSum floor: pressure can never push capacity below the
+// admission running sum, so every admitted minimum stays deliverable
+// no matter how hard the governor squeezes.
+func TestPressureFlooredAtAdmittedMinimums(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 4; i++ {
+		// min 1/6 each => minSum 4/6
+		if _, err := m.RequestAdmittance(newTask(string(rune('a'+i)), mpegTask().List)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetPressure(0, ticks.FracPercent(99), "test: crush")
+	if got, want := m.capacityForGrants(), m.MinSum(); got.Cmp(want) != 0 {
+		t.Errorf("capacity under 99%% pressure = %.4f, want the minSum floor %.4f",
+			got.Float(), want.Float())
+	}
+	gs := m.Grants()
+	if len(gs) != 4 {
+		t.Fatalf("grant set has %d entries, want 4", len(gs))
+	}
+	sum := ticks.FracZero
+	for _, id := range gs.IDs() {
+		g := gs[id]
+		if g.Entry.Frac().Cmp(mpegTask().List.MinFrac()) < 0 {
+			t.Errorf("task %d granted %.4f, below its minimum", id, g.Entry.Frac().Float())
+		}
+		sum = sum.Add(g.Entry.Frac())
+	}
+	if !sum.LessOrEqual(m.Available()) {
+		t.Errorf("granted sum %.4f exceeds schedulable CPU", sum.Float())
+	}
+	ev := m.DegradationEvents()[0]
+	if ev.Applied.Cmp(ev.Requested) >= 0 {
+		t.Errorf("applied reduction %.4f not clamped below requested %.4f",
+			ev.Applied.Float(), ev.Requested.Float())
+	}
+}
+
+// Admission is immune to pressure: the schedulable fraction for the
+// O(1) admission test stays Available() so a task that fits the
+// paper's contract is never bounced by a transient fault.
+func TestPressureDoesNotAffectAdmission(t *testing.T) {
+	m := New(Config{})
+	m.SetPressure(0, ticks.FracPercent(90), "test: heavy pressure, empty system")
+	if _, err := m.RequestAdmittance(mpegTask()); err != nil {
+		t.Errorf("admission under pressure failed: %v", err)
+	}
+}

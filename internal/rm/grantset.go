@@ -39,8 +39,10 @@ func (m *Manager) recomputeGrants() {
 
 	// O(1) underload fast path (§6.3): if every thread can have its
 	// maximum entry — in every resource dimension — we are done. All
-	// three feasibility sums are maintained incrementally.
-	if m.maxSum.LessOrEqual(m.Available()) &&
+	// three feasibility sums are maintained incrementally. Degradation
+	// pressure narrows the capacity (capacityForGrants), pushing the
+	// computation onto the policy path exactly like a real overload.
+	if m.maxSum.LessOrEqual(m.capacityForGrants()) &&
 		m.streamer.Fits(m.maxStreamerSum) &&
 		m.ffuMaxCount <= 1 {
 		m.lastOp.FastPath = true
@@ -77,7 +79,7 @@ func (m *Manager) recomputeGrants() {
 // unused, look for threads that can use them.
 func (m *Manager) correlate(active []*admitted, pol policy.Policy) GrantSet {
 	n := len(active)
-	avail := m.Available()
+	avail := m.capacityForGrants()
 	cands := make([]cand, n)
 
 	// Pass 1: locate above/below entries and sum the above set.

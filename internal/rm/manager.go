@@ -103,6 +103,12 @@ type Manager struct {
 	grants  GrantSet
 	pending bool // a recomputed grant set awaits Scheduler pickup
 
+	// pressure is the degradation fraction withheld from grant
+	// computation (never from admission); see degrade.go.
+	pressure     ticks.Frac
+	generation   int64
+	degradations []DegradationEvent
+
 	lastOp OpStats
 }
 
@@ -144,6 +150,7 @@ func New(cfg Config) *Manager {
 		tasks:    make(map[task.ID]*admitted),
 		minSum:   ticks.FracZero,
 		maxSum:   ticks.FracZero,
+		pressure: ticks.FracZero,
 		grants:   GrantSet{},
 	}
 }

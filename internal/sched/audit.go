@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"fmt"
+)
+
+// AuditReport lists structural-invariant breaches found by Audit. An
+// empty report (len(Findings) == 0) means the scheduler's bookkeeping
+// is internally consistent.
+type AuditReport struct {
+	Findings []string
+}
+
+// OK reports whether the audit found nothing.
+func (r AuditReport) OK() bool { return len(r.Findings) == 0 }
+
+// Audit checks the scheduler's structural invariants: every queue
+// entry belongs to a live task, removed tasks leave no dangling grant
+// assignments, per-period budgets are conserved (0 ≤ remaining ≤
+// granted CPU), and queue membership flags agree with the queues
+// themselves. It is a read-only probe: internal/invariant calls it
+// from the checker, and fault-injection tests call it after each
+// scenario. Findings are reported in a deterministic order.
+func (s *Scheduler) Audit() AuditReport {
+	var r AuditReport
+	add := func(format string, args ...any) {
+		r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+	}
+
+	// Paper queues hold only live, correctly-labelled tasks.
+	checkQueue := func(label string, q []*tcb, want queueID) {
+		for _, t := range q {
+			if t.dropped {
+				add("%s holds dropped task %d (%s)", label, t.id, t.name)
+			}
+			if s.tasks[t.id] != t {
+				add("%s holds task %d (%s) not in the task table", label, t.id, t.name)
+			}
+			if t.queue != want {
+				add("%s holds task %d (%s) whose queue tag is %d", label, t.id, t.name, t.queue)
+			}
+		}
+	}
+	checkQueue("TimeRemaining", s.timeRemaining, qTimeRemaining)
+	checkQueue("TimeExpired", s.timeExpired, qTimeExpired)
+	for _, t := range s.overtimeQ {
+		if t.dropped {
+			add("OvertimeRequested holds dropped task %d (%s)", t.id, t.name)
+		}
+		if s.tasks[t.id] != t {
+			add("OvertimeRequested holds task %d (%s) not in the task table", t.id, t.name)
+		}
+		if !t.overtime {
+			add("OvertimeRequested holds task %d (%s) with overtime flag clear", t.id, t.name)
+		}
+	}
+
+	// The task table agrees with the queues, budgets are conserved,
+	// and grant assignments point at live sporadic tasks.
+	live := make(map[*sporadicTask]bool, len(s.sporadics))
+	for _, sp := range s.sporadics {
+		live[sp] = true
+	}
+	for _, t := range s.tasksByID() {
+		if t.dropped {
+			add("task table holds dropped task %d (%s)", t.id, t.name)
+		}
+		switch t.queue {
+		case qTimeRemaining:
+			if !contains(s.timeRemaining, t) {
+				add("task %d (%s) tagged TimeRemaining but absent from the queue", t.id, t.name)
+			}
+		case qTimeExpired:
+			if !contains(s.timeExpired, t) {
+				add("task %d (%s) tagged TimeExpired but absent from the queue", t.id, t.name)
+			}
+		}
+		if t.overtime != contains(s.overtimeQ, t) {
+			add("task %d (%s) overtime flag %v disagrees with queue membership", t.id, t.name, t.overtime)
+		}
+		if t.remaining < 0 || t.remaining > t.grant.Entry.CPU {
+			add("task %d (%s) budget not conserved: remaining %v of granted %v",
+				t.id, t.name, t.remaining, t.grant.Entry.CPU)
+		}
+		if t.ssCurrent != nil && !live[t.ssCurrent] {
+			add("task %d (%s) holds a grant assignment to removed sporadic task %d (%s)",
+				t.id, t.name, t.ssCurrent.id, t.ssCurrent.name)
+		}
+		if t.ssCurrent == nil && t.ssAssignLeft != 0 {
+			add("task %d (%s) has %v assignment budget but no assignee",
+				t.id, t.name, t.ssAssignLeft)
+		}
+	}
+
+	// The CPU owner, if any, is a live task.
+	if s.running != nil {
+		if s.running.dropped {
+			add("running task %d (%s) was dropped", s.running.id, s.running.name)
+		} else if s.tasks[s.running.id] != s.running {
+			add("running task %d (%s) not in the task table", s.running.id, s.running.name)
+		}
+	}
+	return r
+}
+
+func contains(q []*tcb, t *tcb) bool {
+	for _, x := range q {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

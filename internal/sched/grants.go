@@ -41,11 +41,18 @@ func (s *Scheduler) GrantRemoved(id task.ID) {
 }
 
 func (s *Scheduler) dropTask(t *tcb) {
+	t.dropped = true
 	s.dequeue(t)
 	s.setOvertime(t, false)
 	if t.wakeEvent != nil {
 		s.k.Cancel(t.wakeEvent)
 		t.wakeEvent = nil
+	}
+	if t.ssCurrent != nil {
+		// An active §5.1 grant assignment dies with the grant; the
+		// sporadic task returns to the server's queue untouched.
+		t.ssCurrent = nil
+		t.ssAssignLeft = 0
 	}
 	if s.running == t {
 		s.running = nil

@@ -25,6 +25,13 @@ func (s *Scheduler) RunUntil(limit ticks.Ticks) {
 	for s.k.Now() < limit {
 		now := s.k.Now()
 		s.k.RunUntil(now) // fire events due exactly now
+		if _, stalled := s.k.Stalled(); stalled {
+			// The kernel tripped its same-tick livelock guard: it has
+			// stopped dispatching events, so the schedule cannot make
+			// progress. Return with the clock at the stall instant so
+			// the caller can report it (sim.Kernel.Stalled).
+			return
+		}
 		// Event handlers (interrupts, §5.2) may occupy the CPU and
 		// advance the clock; re-read it so period rollovers and
 		// preemption arithmetic see the true time.
@@ -41,6 +48,14 @@ func (s *Scheduler) RunUntil(limit ticks.Ticks) {
 			// switch, and EDF must honour them. Leaving the idle
 			// loop (running == nil) is always timer- or
 			// interrupt-driven, hence asynchronous (§6.1).
+			if s.switchCredit {
+				// The previously charged switch's target was removed
+				// before it ever ran; the CPU already paid for one
+				// transition, so the re-target is free.
+				s.switchCredit = false
+				s.running = cur
+				continue
+			}
 			exitVol := s.running != nil && s.running.lastExitVoluntary
 			k := sim.Involuntary
 			if exitVol {
@@ -49,6 +64,14 @@ func (s *Scheduler) RunUntil(limit ticks.Ticks) {
 			cost := s.k.ChargeSwitch(k)
 			s.obs.OnSwitch(k, cost)
 			s.running = cur
+			if cur.dropped {
+				// An event inside the charged switch span removed the
+				// grant of the task being switched to. Credit the paid
+				// switch so the immediate re-target is free, and leave
+				// the CPU unowned — the dead tcb must not be dispatched.
+				s.switchCredit = true
+				s.running = nil
+			}
 			continue
 		}
 		s.dispatchSlice(cur, kind, limit)
@@ -107,6 +130,10 @@ func (s *Scheduler) idleUntilNextInterest(limit ticks.Ticks) {
 	// and the next real dispatch from idle is charged as a voluntary
 	// switch since idle has no context worth saving.
 	s.running = nil
+	// A switch credit does not survive going idle: the idle stretch
+	// separates the charged switch from any later dispatch, which is a
+	// fresh transition and pays its own cost.
+	s.switchCredit = false
 }
 
 // preemptTime computes the §4.2 timer rule for a granted dispatch:
@@ -338,6 +365,12 @@ func (s *Scheduler) account(cur *tcb, kind DispatchKind, used ticks.Ticks) {
 // (the body consumed the whole span up to a grant end or preemption
 // point) — those exits are involuntary.
 func (s *Scheduler) resolve(cur *tcb, kind DispatchKind, reason switchReason, timerForced bool, res task.RunResult) {
+	if cur.dropped {
+		// The grant was removed mid-dispatch (the body revoked it, or
+		// asked the RM to). dropTask already took the tcb off every
+		// queue; any queue movement here would resurrect it.
+		return
+	}
 	switch res.Op {
 	case task.OpYield:
 		cur.completed = cur.completed || res.Completed
@@ -409,6 +442,7 @@ func (s *Scheduler) block(cur *tcb, blockFor ticks.Ticks) {
 	cur.blocked = true
 	s.dequeue(cur)
 	s.setOvertime(cur, false)
+	s.obs.OnBlock(cur.id, s.k.Now())
 	if blockFor > 0 {
 		t := cur
 		cur.wakeEvent = s.k.After(blockFor, func() {
@@ -445,6 +479,11 @@ func (s *Scheduler) maybeGrace(cur *tcb, reason switchReason) {
 		InGracePeriod:  true,
 	}
 	res := cur.body.Run(ctx)
+	if cur.dropped {
+		// The grace callback revoked the task's own grant: the tcb is
+		// off every queue; charging or re-enqueueing would resurrect it.
+		return
+	}
 	if res.Used < 0 {
 		res.Used = 0
 	}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// TestRemoveGrantOfRunningTask is the mid-dispatch removal regression
+// test: a task whose grant is revoked while it is the running task
+// (here: its own body asks the Resource Manager to remove it, then
+// returns requesting overtime) must vanish — resolve must not put the
+// dead tcb back on a queue, where the scheduler would dispatch it
+// forever.
+func TestRemoveGrantOfRunningTask(t *testing.T) {
+	_, m, s := newSystem(0, sim.ZeroSwitchCosts())
+	var victimID task.ID
+	victimRuns := 0
+	victimID = mustAdmit(t, m, &task.Task{
+		Name: "victim",
+		List: task.SingleLevel(10*ms, 3*ms, "Victim"),
+		Body: task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+			victimRuns++
+			if ctx.Now >= 20*ms {
+				// Third period: revoke our own grant mid-dispatch, then
+				// misbehave — ask for overtime as if still schedulable.
+				if err := m.Remove(victimID); err != nil {
+					t.Errorf("Remove(victim): %v", err)
+				}
+				return task.RunResult{Used: ctx.Span, Op: task.OpOvertime}
+			}
+			return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+		}),
+	})
+	other := mustAdmit(t, m, &task.Task{
+		Name: "other",
+		List: task.SingleLevel(10*ms, 2*ms, "Other"),
+		Body: task.PeriodicWork(2 * ms),
+	})
+
+	s.RunUntil(100 * ms)
+
+	runsAtRemoval := victimRuns
+	s.RunUntil(200 * ms)
+	if victimRuns != runsAtRemoval {
+		t.Errorf("removed task dispatched %d more times after its grant was revoked",
+			victimRuns-runsAtRemoval)
+	}
+	if _, ok := s.Stats(victimID); ok {
+		t.Error("removed task still in the scheduler's task table")
+	}
+	st, ok := s.Stats(other)
+	if !ok {
+		t.Fatal("surviving task lost its stats")
+	}
+	if st.Misses != 0 {
+		t.Errorf("surviving task missed %d deadlines across the removal", st.Misses)
+	}
+	if got := int64(200 / 10); st.Periods < got-1 {
+		t.Errorf("surviving task saw %d periods, want about %d — the CPU stalled", st.Periods, got)
+	}
+	if rep := s.Audit(); !rep.OK() {
+		t.Errorf("structural audit after removal:\n%v", rep.Findings)
+	}
+}
+
+// TestRemoveGrantDuringChargedSwitch covers the other half of the
+// satellite: the grant of the task being switched TO is revoked by an
+// event that fires inside the charged switch span. The paid switch
+// must be credited to the immediate re-target — not charged a second
+// time — and the dead tcb must never own the CPU.
+func TestRemoveGrantDuringChargedSwitch(t *testing.T) {
+	costs := sim.PaperSwitchCosts()
+	costs.Deterministic = true // fixed 20.7 µs / 35 µs costs
+	k, m, s := newSystem(0, costs)
+
+	a := mustAdmit(t, m, &task.Task{
+		Name: "a",
+		List: task.SingleLevel(10*ms, 3*ms, "A"),
+		Body: task.PeriodicWork(3 * ms),
+	})
+	b := mustAdmit(t, m, &task.Task{
+		Name: "b",
+		List: task.SingleLevel(10*ms, 3*ms, "B"),
+		Body: task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+			t.Error("task b ran; its grant was removed during the switch to it")
+			return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+		}),
+	})
+	var cRan ticks.Ticks
+	mustAdmit(t, m, &task.Task{
+		Name: "c",
+		List: task.SingleLevel(10*ms, 2*ms, "C"),
+		Body: task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+			cRan += ctx.Span
+			return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+		}),
+	})
+
+	// a runs [boot-switch, ~3ms], yields, and the scheduler charges the
+	// voluntary switch to b (EDF tie broken by ID). This event lands
+	// inside that switch span and revokes b's grant.
+	k.At(3*ms+ticks.FromMicroseconds(40)+10, func() {
+		if err := m.Remove(b); err != nil {
+			t.Errorf("Remove(b): %v", err)
+		}
+	})
+
+	s.RunUntil(9 * ms)
+
+	if cRan != 2*ms {
+		t.Errorf("task c ran %v, want its full 2ms grant — the CPU was stranded", cRan)
+	}
+	st := k.Stats()
+	// Exactly two charged switches: boot→a (involuntary, from nil) and
+	// a→b (voluntary). The re-target b→c consumes the credit; a third
+	// charge is the double-charging bug.
+	if st.VolSwitches != 1 || st.InvolSwitches != 1 {
+		t.Errorf("charged %d voluntary + %d involuntary switches, want 1 + 1 (re-target must reuse the paid switch)",
+			st.VolSwitches, st.InvolSwitches)
+	}
+	ast, _ := s.Stats(a)
+	if ast.Misses != 0 {
+		t.Errorf("task a missed %d deadlines", ast.Misses)
+	}
+	if rep := s.Audit(); !rep.OK() {
+		t.Errorf("structural audit after mid-switch removal:\n%v", rep.Findings)
+	}
+}

@@ -82,6 +82,10 @@ type Observer interface {
 	OnSwitch(kind sim.SwitchKind, cost ticks.Ticks)
 	// OnGrantApplied reports a task beginning to run under a grant.
 	OnGrantApplied(id task.ID, g rm.Grant)
+	// OnBlock reports that id blocked at time at. Guarantees are void
+	// from here until the first full period after waking (§4.2), so
+	// checkers must not count the interrupted period as missed.
+	OnBlock(id task.ID, at ticks.Ticks)
 }
 
 // nopObserver is the default Observer.
@@ -92,6 +96,7 @@ func (nopObserver) OnPeriodStart(task.ID, ticks.Ticks, ticks.Ticks, int, ticks.T
 func (nopObserver) OnDeadlineMiss(task.ID, ticks.Ticks, ticks.Ticks)                        {}
 func (nopObserver) OnSwitch(sim.SwitchKind, ticks.Ticks)                                    {}
 func (nopObserver) OnGrantApplied(task.ID, rm.Grant)                                        {}
+func (nopObserver) OnBlock(task.ID, ticks.Ticks)                                            {}
 
 // queueID says which paper queue a tcb currently lives on.
 type queueID int
@@ -133,6 +138,11 @@ type tcb struct {
 	queue    queueID
 	overtime bool // also on the OvertimeRequested queue
 	blocked  bool
+	// dropped marks a tcb whose grant was removed. dropTask takes the
+	// tcb off every queue; the flag keeps in-flight dispatch plumbing
+	// (resolve, maybeGrace) from re-enqueueing it afterwards, which
+	// would leave a dangling entry the scheduler dispatches forever.
+	dropped bool
 	// wokenMidPeriod: the task unblocked mid-period; guarantees
 	// resume "in the first full period in which the thread is not
 	// blocked" (§4.2), i.e. at the next rollover.
@@ -214,6 +224,12 @@ type Scheduler struct {
 	overtimeQ     []*tcb // deadline-ordered; conceptually ends with Idle
 
 	running *tcb // thread currently on the CPU; nil at boot
+
+	// switchCredit marks that a context switch was charged to a target
+	// that was removed during the switch itself (events fire inside the
+	// charged span). The CPU is already in the switched state, so the
+	// immediate re-target to another thread must not be charged again.
+	switchCredit bool
 
 	sporadics      []*sporadicTask
 	nextSporadicID SporadicID
@@ -326,6 +342,19 @@ func (s *Scheduler) Stats(id task.ID) (TaskStats, bool) {
 		return TaskStats{}, false
 	}
 	return t.stats, true
+}
+
+// PrevPeriod reports the accounting of id's most recently closed
+// period: CPU the task consumed (grant, grace, and overtime combined)
+// and whether its body declared the period's work complete. beginPeriod
+// latches these just before emitting OnPeriodStart, so an Observer that
+// receives a period start can query the period it closed.
+func (s *Scheduler) PrevPeriod(id task.ID) (used ticks.Ticks, completed bool, ok bool) {
+	t, ok := s.tasks[id]
+	if !ok {
+		return 0, false, false
+	}
+	return t.prevUsed, t.prevCompleted, true
 }
 
 // IdleTicks reports CPU spent in the idle thread.

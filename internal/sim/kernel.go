@@ -27,6 +27,17 @@ type Kernel struct {
 	peek   *RNG // substream for read-only cost probes; never feeds the run
 	costs  SwitchCosts
 
+	// timerFault, when non-nil, perturbs event delivery times (late
+	// and coalesced timer interrupts); see TimerFault. Nil means exact
+	// delivery and zero extra RNG draws.
+	timerFault *TimerFault
+
+	// Livelock guard (see Config.SameTickBudget).
+	tickBudget int
+	tickAt     ticks.Ticks
+	tickCount  int
+	stall      *StallInfo
+
 	// Counters.
 	volSwitches    int64
 	involSwitches  int64
@@ -37,6 +48,13 @@ type Kernel struct {
 	interrupts     int64
 }
 
+// DefaultSameTickBudget is the same-tick event budget installed when
+// Config.SameTickBudget is zero. Legitimate same-instant cascades
+// (period rollovers, interrupt bursts, coalesced timers) run a handful
+// of events per tick; tens of thousands at one instant means a
+// zero-delay self-rescheduling loop that would otherwise hang the run.
+const DefaultSameTickBudget = 1 << 16
+
 // Config parameterises a Kernel.
 type Config struct {
 	// Seed for the deterministic PRNG. Zero selects a fixed default.
@@ -44,14 +62,24 @@ type Config struct {
 	// Costs is the context-switch cost model. The zero value means
 	// free, deterministic switches (ZeroSwitchCosts).
 	Costs SwitchCosts
+	// SameTickBudget bounds how many events may execute at a single
+	// virtual instant before the kernel declares a livelock and stops
+	// dispatching (reported via Stalled, never a hang or a panic).
+	// Zero selects DefaultSameTickBudget; negative disables the guard.
+	SameTickBudget int
 }
 
 // NewKernel returns a kernel at virtual time zero.
 func NewKernel(cfg Config) *Kernel {
+	budget := cfg.SameTickBudget
+	if budget == 0 {
+		budget = DefaultSameTickBudget
+	}
 	return &Kernel{
-		rng:   NewRNG(cfg.Seed),
-		peek:  NewRNG(SplitSeed(cfg.Seed, 1)),
-		costs: cfg.Costs,
+		rng:        NewRNG(cfg.Seed),
+		peek:       NewRNG(SplitSeed(cfg.Seed, 1)),
+		costs:      cfg.Costs,
+		tickBudget: budget,
 	}
 }
 
@@ -63,10 +91,15 @@ func (k *Kernel) Now() ticks.Ticks { return k.now }
 func (k *Kernel) RNG() *RNG { return k.rng }
 
 // At schedules fn to run at virtual time at. Scheduling in the past
-// (before Now) panics: it would silently corrupt causality.
+// (before Now) panics: it would silently corrupt causality. An
+// installed TimerFault may deliver the event later than asked (never
+// earlier), modelling late and coalesced timer interrupts.
 func (k *Kernel) At(at ticks.Ticks, fn func()) *Event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", at, k.now))
+	}
+	if k.timerFault != nil {
+		at = k.timerFault.adjust(at)
 	}
 	return k.events.Push(at, fn)
 }
@@ -83,11 +116,29 @@ func (k *Kernel) Cancel(e *Event) { k.events.Cancel(e) }
 func (k *Kernel) NextEventTime() (ticks.Ticks, bool) { return k.events.PeekTime() }
 
 // Step runs the single earliest pending event, advancing the clock to
-// its time. It reports false if no events are pending.
+// its time. It reports false if no events are pending, or if the
+// kernel has stalled on the same-tick budget (see Stalled) — a stalled
+// kernel stops dispatching rather than spinning forever on a
+// zero-delay self-rescheduling loop.
 func (k *Kernel) Step() bool {
+	if k.stall != nil {
+		return false
+	}
 	e := k.events.Pop()
 	if e == nil {
 		return false
+	}
+	if e.At == k.tickAt {
+		k.tickCount++
+		if k.tickBudget > 0 && k.tickCount > k.tickBudget {
+			k.stall = &StallInfo{At: e.At, Events: k.tickCount}
+			// Put causality back: the popped event never ran.
+			k.events.Push(e.At, e.Fn)
+			return false
+		}
+	} else {
+		k.tickAt = e.At
+		k.tickCount = 1
 	}
 	k.now = e.At
 	e.Fn()
@@ -95,16 +146,20 @@ func (k *Kernel) Step() bool {
 }
 
 // RunUntil processes events until the clock reaches or passes limit,
-// or the queue drains. The clock is left at min(limit, last event
-// time); it is advanced to limit if the queue drains earlier so that
-// callers can account trailing idle time.
+// the queue drains, or the livelock guard trips (see Stalled). The
+// clock is left at min(limit, last event time); it is advanced to
+// limit if the queue drains earlier so that callers can account
+// trailing idle time. A stalled kernel leaves the clock at the stall
+// instant so the caller can report it.
 func (k *Kernel) RunUntil(limit ticks.Ticks) {
 	for {
 		at, ok := k.events.PeekTime()
 		if !ok || at > limit {
 			break
 		}
-		k.Step()
+		if !k.Step() {
+			return
+		}
 	}
 	if k.now < limit {
 		k.now = limit

@@ -29,16 +29,19 @@ type Key struct {
 type Cell struct {
 	Key
 
-	Runs       int
-	Errors     int
-	FirstError string
-	Denied     int64
+	Runs           int
+	Errors         int
+	FirstError     string
+	Denied         int64
+	FaultsInjected int64 // fault events fired by armed injectors
 
 	Misses         metrics.Summary // deadline misses per run
 	LossRate       metrics.Summary // unplanned loss / opportunities per run
 	Utilization    metrics.Summary
 	SwitchOverhead metrics.Summary
 	InterruptLoad  metrics.Summary
+	Violations     metrics.Summary // invariant-checker breaches per run
+	Degradations   metrics.Summary // recorded degradation decisions per run
 	AdmissionMS    metrics.Summary // per admitted task, pooled over runs
 	AdmissionHist  *metrics.Histogram
 }
@@ -59,11 +62,14 @@ func (c *Cell) add(r RunMetrics) {
 		return
 	}
 	c.Denied += r.Denied
+	c.FaultsInjected += r.FaultsInjected
 	c.Misses.Add(float64(r.Misses))
 	c.LossRate.Add(r.LossRate())
 	c.Utilization.Add(r.Utilization)
 	c.SwitchOverhead.Add(r.SwitchOverhead)
 	c.InterruptLoad.Add(r.InterruptLoad)
+	c.Violations.Add(float64(r.Violations))
+	c.Degradations.Add(float64(r.Degradations))
 	for _, v := range r.AdmissionMS {
 		c.AdmissionMS.Add(v)
 		c.AdmissionHist.Add(v)
@@ -79,11 +85,14 @@ func (c *Cell) merge(o *Cell) {
 		c.FirstError = o.FirstError
 	}
 	c.Denied += o.Denied
+	c.FaultsInjected += o.FaultsInjected
 	c.Misses.Merge(&o.Misses)
 	c.LossRate.Merge(&o.LossRate)
 	c.Utilization.Merge(&o.Utilization)
 	c.SwitchOverhead.Merge(&o.SwitchOverhead)
 	c.InterruptLoad.Merge(&o.InterruptLoad)
+	c.Violations.Merge(&o.Violations)
+	c.Degradations.Merge(&o.Degradations)
 	c.AdmissionMS.Merge(&o.AdmissionMS)
 	c.AdmissionHist.Merge(o.AdmissionHist)
 }
@@ -137,14 +146,15 @@ func (r *Result) Errors() int {
 // Table renders the human-readable summary: one row per cell.
 func (r *Result) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-10s %-12s %5s %4s %8s %8s %7s %7s %7s %8s %8s\n",
+	fmt.Fprintf(&b, "%-13s %-10s %-12s %5s %4s %8s %8s %7s %7s %7s %6s %6s %8s %8s\n",
 		"scenario", "costs", "policy", "runs", "err",
-		"loss%", "misses", "util%", "sw%", "irq%", "adm p50", "adm p99")
+		"loss%", "misses", "util%", "sw%", "irq%", "viol", "degr", "adm p50", "adm p99")
 	for _, c := range r.cells {
-		fmt.Fprintf(&b, "%-10s %-10s %-12s %5d %4d %8.3f %8.2f %7.2f %7.3f %7.3f %7.1fms %7.1fms\n",
+		fmt.Fprintf(&b, "%-13s %-10s %-12s %5d %4d %8.3f %8.2f %7.2f %7.3f %7.3f %6.2f %6.2f %7.1fms %7.1fms\n",
 			c.Scenario, c.CostModel, c.Policy, c.Runs, c.Errors,
 			c.LossRate.Mean()*100, c.Misses.Mean(),
 			c.Utilization.Mean()*100, c.SwitchOverhead.Mean()*100, c.InterruptLoad.Mean()*100,
+			c.Violations.Mean(), c.Degradations.Mean(),
 			c.AdmissionMS.Percentile(50), c.AdmissionMS.Percentile(99))
 	}
 	for _, c := range r.cells {
@@ -159,7 +169,8 @@ func (r *Result) Table() string {
 // --- machine-readable output ---
 
 // JSON schema version tag; bump on incompatible changes.
-const SchemaVersion = "rdsweep/v1"
+// v2 added invariant_violations, degradations and faults_injected.
+const SchemaVersion = "rdsweep/v2"
 
 type summaryJSON struct {
 	N      int     `json:"n"`
@@ -196,16 +207,19 @@ type cellJSON struct {
 	Scenario   string `json:"scenario"`
 	CostModel  string `json:"cost_model"`
 	Policy     string `json:"policy"`
-	Runs       int    `json:"runs"`
-	Errors     int    `json:"errors"`
-	FirstError string `json:"first_error,omitempty"`
-	Denied     int64  `json:"denied_admissions"`
+	Runs           int    `json:"runs"`
+	Errors         int    `json:"errors"`
+	FirstError     string `json:"first_error,omitempty"`
+	Denied         int64  `json:"denied_admissions"`
+	FaultsInjected int64  `json:"faults_injected"`
 
 	Misses         summaryJSON `json:"misses_per_run"`
 	LossRate       summaryJSON `json:"unplanned_loss_rate"`
 	Utilization    summaryJSON `json:"utilization"`
 	SwitchOverhead summaryJSON `json:"switch_overhead"`
 	InterruptLoad  summaryJSON `json:"interrupt_load"`
+	Violations     summaryJSON `json:"invariant_violations"`
+	Degradations   summaryJSON `json:"degradations"`
 	AdmissionMS    summaryJSON `json:"admission_latency_ms"`
 	AdmissionHist  histJSON    `json:"admission_latency_hist"`
 }
@@ -231,11 +245,14 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			Errors:         c.Errors,
 			FirstError:     c.FirstError,
 			Denied:         c.Denied,
+			FaultsInjected: c.FaultsInjected,
 			Misses:         summarize(&c.Misses),
 			LossRate:       summarize(&c.LossRate),
 			Utilization:    summarize(&c.Utilization),
 			SwitchOverhead: summarize(&c.SwitchOverhead),
 			InterruptLoad:  summarize(&c.InterruptLoad),
+			Violations:     summarize(&c.Violations),
+			Degradations:   summarize(&c.Degradations),
 			AdmissionMS:    summarize(&c.AdmissionMS),
 			AdmissionHist: histJSON{
 				Lo:     c.AdmissionHist.Lo,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/resource"
 	"repro/internal/rm"
@@ -152,6 +154,7 @@ func (p *probe) OnPeriodStart(id task.ID, start, _ ticks.Ticks, _ int, _ ticks.T
 func (p *probe) OnDeadlineMiss(task.ID, ticks.Ticks, ticks.Ticks) { p.misses++ }
 func (p *probe) OnSwitch(sim.SwitchKind, ticks.Ticks)             {}
 func (p *probe) OnGrantApplied(task.ID, rm.Grant)                 {}
+func (p *probe) OnBlock(task.ID, ticks.Ticks)                     {}
 
 // env is the harness handed to a scenario's run function.
 type env struct {
@@ -161,6 +164,13 @@ type env struct {
 	d      *core.Distributor
 	admits []admitRec
 	denied int64
+
+	// chk, when armed via withInvariants, rides the observer chain and
+	// audits the paper's guarantees during the run; runOne finalizes it
+	// and folds its violation count into the metrics.
+	chk *invariant.Checker
+	// flog collects fault-injection and invariant events for the run.
+	flog metrics.EventLog
 
 	// quality, set by the scenario before returning, folds its
 	// workload-specific loss accounting into the run metrics.
@@ -174,12 +184,29 @@ type admitRec struct {
 
 // start assembles the run's Distributor, applying the spec's seed and
 // cost model plus the sweep's probe observer to the scenario's config.
+// When withInvariants armed a checker, the checker becomes the
+// observer and chains to the probe, so standard metrics still flow.
 func (e *env) start(cfg core.Config) *core.Distributor {
 	cfg.Seed = e.spec.Seed
 	cfg.SwitchCosts = &e.costs
-	cfg.Observer = e.pr
+	if e.chk != nil {
+		cfg.Observer = e.chk
+	} else {
+		cfg.Observer = e.pr
+	}
 	e.d = core.New(cfg)
+	if e.chk != nil {
+		e.chk.Bind(e.d.Kernel(), e.d.Manager(), e.d.Scheduler())
+	}
 	return e.d
+}
+
+// withInvariants arms the runtime guarantee checker for this run.
+// Call it before start; violations are mirrored into the run's event
+// log and counted in RunMetrics.Violations.
+func (e *env) withInvariants() {
+	e.chk = invariant.New(e.pr)
+	e.chk.LogTo(&e.flog)
 }
 
 // admit requests admittance, recording the request time for admission

@@ -50,6 +50,16 @@ type RunMetrics struct {
 	SwitchOverhead float64 // switch ticks / elapsed (§6.1's 0.7% figure)
 	InterruptLoad  float64 // interrupt ticks / elapsed (§5.2 reserve check)
 
+	// Violations counts runtime guarantee breaches found by the
+	// invariant checker (armed by fault scenarios; 0 elsewhere).
+	Violations int64
+	// Degradations counts recorded overload-pressure decisions — every
+	// capacity the run shed is a policy-box decision, not an accident.
+	Degradations int64
+	// FaultsInjected counts the fault events the run's armed injectors
+	// actually fired.
+	FaultsInjected int64
+
 	AdmissionMS []float64 // admittance→first period, per admitted task, ms
 }
 
@@ -90,7 +100,7 @@ func SeedRange(base uint64, n int) []uint64 {
 // seed. (scenario, policy) combinations the scenario does not support
 // are skipped, so "all policies" is a request, not a constraint.
 func (m Matrix) Specs() ([]RunSpec, error) {
-	scs := m.Scenarios
+	scs := expandFamilies(m.Scenarios)
 	if len(scs) == 0 {
 		scs = ScenarioNames()
 	}
@@ -247,6 +257,10 @@ func runOne(spec RunSpec) (out RunMetrics) {
 	if e.d == nil {
 		return RunMetrics{Err: "scenario never started a distributor"}
 	}
+	if info, ok := e.d.Kernel().Stalled(); ok {
+		return RunMetrics{Err: fmt.Sprintf(
+			"kernel livelock guard tripped at t=%d after %d same-tick events", int64(info.At), info.Events)}
+	}
 
 	st := e.d.KernelStats()
 	out.Misses = e.pr.misses
@@ -255,6 +269,12 @@ func runOne(spec RunSpec) (out RunMetrics) {
 	out.SwitchOverhead = st.SwitchOverheadFraction()
 	out.InterruptLoad = st.InterruptLoadFraction()
 	out.AdmissionMS = e.admissionLatenciesMS()
+	if e.chk != nil {
+		e.chk.Finish()
+		out.Violations = int64(len(e.chk.Violations()))
+	}
+	out.Degradations = int64(len(e.d.Manager().DegradationEvents()))
+	out.FaultsInjected = int64(e.flog.KindPrefixCount("fault."))
 	if e.quality != nil {
 		e.quality(&out)
 	}

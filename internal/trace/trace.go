@@ -94,6 +94,10 @@ func (r *Recorder) OnSwitch(kind sim.SwitchKind, cost ticks.Ticks) {
 // OnGrantApplied implements sched.Observer.
 func (r *Recorder) OnGrantApplied(id task.ID, g rm.Grant) {}
 
+// OnBlock implements sched.Observer. Blocking is not serialized: the
+// JSON trace format predates the event and stays byte-stable.
+func (r *Recorder) OnBlock(id task.ID, at ticks.Ticks) {}
+
 // NameOf reports the recorded name for a task.
 func (r *Recorder) NameOf(id task.ID) string {
 	if n, ok := r.names[id]; ok {
