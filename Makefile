@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke ci
+# The benchmarks tracked in the committed BENCH_*.json baselines (see
+# docs/PERFORMANCE.md): the kernel/scheduler hot-path trio, the end-to-
+# end Table 2 workload, and the substrate micro-benchmarks.
+BENCH_REGEX = KernelStep|PeriodRollover|SweepCell|Table2MPEGDecodeSecond|BenchmarkEventQueue$$|SchedulerSteadyState
+BENCH_PKGS  = . ./internal/sim ./internal/sched ./internal/sweep
+
+.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke bench bench-smoke ci
 
 all: build test lint
 
@@ -55,4 +61,26 @@ fault-smoke:
 	cmp fault-w4.json fault-w1.json
 	rm -f fault-w4.json fault-w1.json
 
-ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke
+# Refresh the "current" sections of the committed benchmark baselines:
+# hot-path benchmarks into BENCH_kernel.json, single-worker sweep
+# throughput into BENCH_sweep.json. The pr-start-baseline sections are
+# historical records and are never rewritten by this target.
+bench:
+	$(GO) test -run=NONE -bench '$(BENCH_REGEX)' -benchmem $(BENCH_PKGS) | tee bench-latest.txt
+	$(GO) run ./cmd/rdperf parse -label current -out BENCH_kernel.json < bench-latest.txt
+	$(GO) build -o rdsweep.bin ./cmd/rdsweep
+	./rdsweep.bin -scenarios all -seeds 64 -workers 1 -horizon-ms 2000 -quiet -timing-json sweep-timing.json
+	$(GO) run ./cmd/rdperf merge -label current -out BENCH_sweep.json sweep-timing.json
+	rm -f rdsweep.bin sweep-timing.json bench-latest.txt
+
+# Fast perf regression check for CI: the steady-state 0-allocs/op
+# assertions run as regular tests, then a -benchtime=1x pass is
+# compared report-only (exit 0 either way) against the committed
+# baseline — single-iteration timings are far too noisy to gate a
+# build, but drift gets surfaced in the log.
+bench-smoke:
+	$(GO) test -run 'AllocFree' -count=1 ./internal/sim ./internal/sched
+	$(GO) test -run=NONE -bench '$(BENCH_REGEX)' -benchtime=1x -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/rdperf compare -against BENCH_kernel.json -section current -threshold 10
+
+ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke bench-smoke

@@ -203,7 +203,7 @@ func expStreamer() {
 func expLatency() {
 	fmt.Println("paper: max latency = 2*period - 2*CPU (grant at the start of one")
 	fmt.Println("period, then at the end of the next); Table 4 workload, 10s")
-	rec := trace.New()
+	rec := recFor(10 * ticks.PerSecond)
 	d := core.New(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
 	_, _ = d.RequestAdmittance(workload.NewModem().Task(false))
 	_, _ = d.RequestAdmittance(workload.NewGraphics3D(42).Task())

@@ -198,7 +198,7 @@ func expPreempt() {
 func expFig4() {
 	fmt.Println("paper: producer 7 takes unused time (light) plus its guarantee (dark);")
 	fmt.Println("       data threads busy-wait their grants (the application bug)")
-	rec := trace.New()
+	rec := recFor(ticks.PerSecond / 3)
 	d := core.New(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
 	period := ticks.PerSecond / 30
 	_, _ = d.AddSporadicServer("sporadic", task.SingleLevel(2_700_000, 27_000, "SS"), true)
@@ -306,7 +306,7 @@ func expFig4Fix() {
 func expFig5() {
 	fmt.Println("paper: thread 2 allocation steps 9 -> 4 -> 3 -> 2 -> 2 ms as")
 	fmt.Println("       threads are admitted every 20ms; no deadline misses")
-	rec := trace.New()
+	rec := recFor(ticks.PerSecond)
 	d := core.New(core.Config{
 		SwitchCosts:             zeroCosts(),
 		InterruptReservePercent: 4,

@@ -81,9 +81,18 @@ func expTable6() {
 	printList(workload.BusyLoopTask("thread2").List)
 }
 
+// recFor returns a Recorder pre-sized for a run of the given horizon,
+// so long experiments append into reserved storage instead of
+// re-growing the event slices mid-run.
+func recFor(horizon ticks.Ticks) *trace.Recorder {
+	rec := trace.New()
+	rec.Reserve(trace.HintForHorizon(horizon))
+	return rec
+}
+
 func expFig3() {
 	fmt.Println("paper: EDF schedule preempting the MPEG and 3D tasks; modem never preempted")
-	rec := trace.New()
+	rec := recFor(200 * ms)
 	d := core.New(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
 	_, _ = d.RequestAdmittance(workload.NewModem().Task(false))
 	_, _ = d.RequestAdmittance(workload.NewGraphics3D(42).Task())

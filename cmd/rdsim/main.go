@@ -71,6 +71,7 @@ func main() {
 	}
 
 	rec := trace.New()
+	rec.Reserve(trace.HintForHorizon(ticks.FromDuration(*horizon)))
 	d := core.New(core.Config{
 		Seed:                    *seed,
 		InterruptReservePercent: sc.reserve,

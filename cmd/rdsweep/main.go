@@ -13,11 +13,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/sweep"
 	"repro/internal/ticks"
@@ -35,8 +39,42 @@ func main() {
 		jsonPath      = flag.String("json", "", "write machine-readable aggregates to this file ('-' for stdout)")
 		quiet         = flag.Bool("quiet", false, "suppress the human-readable table")
 		list          = flag.Bool("list", false, "list scenarios, cost models and policies, then exit")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile    = flag.String("memprofile", "", "write an allocation profile (alloc_objects/alloc_space) to this file")
+		timingJSON    = flag.String("timing-json", "", "write wall-clock sweep throughput to this file as an rdperf metrics map (see cmd/rdperf)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdsweep:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rdsweep:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Record every allocation so small sweeps still produce a
+		// usable alloc_objects profile.
+		runtime.MemProfileRate = 1
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdsweep:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "rdsweep:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		fmt.Println("scenarios:")
@@ -56,10 +94,31 @@ func main() {
 		Seeds:      sweep.SeedRange(*seedBase, *seedsFlag),
 		Horizon:    ticks.FromMilliseconds(*horizonMS),
 	}
+	start := time.Now()
 	res, err := sweep.Run(m, sweep.Options{Workers: *workers})
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdsweep:", err)
 		os.Exit(2)
+	}
+
+	if *timingJSON != "" {
+		// Wall-clock throughput is deliberately a separate artifact
+		// from the deterministic results JSON: -json output is
+		// byte-identical across machines and worker counts, timing
+		// never is. The key encodes the matrix so that comparisons
+		// (cmd/rdperf compare) only ever line up like against like.
+		key := fmt.Sprintf("rdsweep/scenarios=%s,seeds=%d,workers=%s,horizon=%dms",
+			*scenariosFlag, *seedsFlag, workersLabel(*workers), *horizonMS)
+		metrics := map[string]map[string]float64{key: {
+			"cells":     float64(res.TotalRuns),
+			"seconds":   elapsed.Seconds(),
+			"cells/sec": float64(res.TotalRuns) / elapsed.Seconds(),
+		}}
+		if err := writeTimingJSON(*timingJSON, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "rdsweep:", err)
+			os.Exit(2)
+		}
 	}
 
 	if !*quiet {
@@ -108,4 +167,18 @@ func workersLabel(n int) string {
 		return "auto"
 	}
 	return strconv.Itoa(n)
+}
+
+func writeTimingJSON(path string, metrics map[string]map[string]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(metrics); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

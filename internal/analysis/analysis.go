@@ -5,8 +5,9 @@
 // determinism is the kind of invariant that conventions cannot hold:
 // one `range` over a map in the dispatch path silently invalidates
 // every recorded trace. The analyzers in this package — maporder,
-// wallclock, rawrand, tickunits — mechanically enforce the invariants
-// documented in docs/DETERMINISM.md. They are driven by cmd/rdlint,
+// wallclock, rawrand, tickunits, hotalloc — mechanically enforce the
+// invariants documented in docs/DETERMINISM.md and the hot-path
+// allocation budget documented in docs/PERFORMANCE.md. They are driven by cmd/rdlint,
 // which runs both standalone (`go run ./cmd/rdlint ./...`) and as a
 // `go vet -vettool` backend.
 //

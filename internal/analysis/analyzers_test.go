@@ -36,6 +36,15 @@ func TestRawRand(t *testing.T) {
 	)
 }
 
+func TestHotAlloc(t *testing.T) {
+	// hafix.go carries the //rd:hotpath marker (flagged, with one
+	// waived cold site); cold.go in the same package does not, so its
+	// identical constructs pass — the check is a per-file opt-in.
+	atest.Run(t, "testdata", analysis.HotAlloc,
+		"repro/internal/sched/hafix",
+	)
+}
+
 func TestTickUnits(t *testing.T) {
 	atest.Run(t, "testdata", analysis.TickUnits,
 		"repro/internal/sched/tufix",

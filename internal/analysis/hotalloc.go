@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathMarker is the comment that opts a file into the hotalloc
+// check. Files on the simulator's recurring dispatch path carry it
+// (internal/sim/events.go, kernel.go, and the scheduler's timer
+// files); cold-path files — setup, teardown, error reporting,
+// rendering — do not, and may allocate freely.
+const HotPathMarker = "//rd:hotpath"
+
+// hotAllocSprint lists the fmt formatters that allocate their result.
+// Fprintf into a reused buffer is fine; Sprintf and friends build a
+// fresh string every call.
+var hotAllocSprint = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+}
+
+// HotAlloc flags per-call allocations in files marked //rd:hotpath:
+// closures passed to the kernel's timer API (Kernel.At / Kernel.After
+// — every arming allocates the closure; recurring timers must use the
+// typed AtCall/AfterCall payload instead) and fmt.Sprintf/Sprint/
+// Sprintln (which allocate the formatted string). Genuinely cold
+// sites inside a marked file — panic messages on paths where the run
+// is already dead — carry an //rdlint:allow hotalloc waiver with a
+// written reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid per-call allocations in //rd:hotpath files\n\n" +
+		"Files marked //rd:hotpath are on the simulator's recurring dispatch path,\n" +
+		"which must be allocation-free in steady state (docs/PERFORMANCE.md). Closures\n" +
+		"handed to Kernel.At/After allocate per arming — recurring timers use the\n" +
+		"typed AtCall/AfterCall payload. fmt.Sprintf allocates per call — cold panic\n" +
+		"paths may waive it with //rdlint:allow hotalloc <reason>.",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		if !hasHotPathMarker(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && hotAllocSprint[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"fmt.%s allocates its result on a //rd:hotpath file; format into a reused buffer, cache the string, or waive a cold site with a reason",
+					fn.Name())
+				return true
+			}
+			if isKernelTimerMethod(fn) {
+				for _, arg := range call.Args {
+					if _, isLit := arg.(*ast.FuncLit); isLit {
+						pass.Reportf(arg.Pos(),
+							"closure passed to Kernel.%s allocates per arming on a //rd:hotpath file; recurring timers must use the typed %sCall payload",
+							fn.Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasHotPathMarker reports whether any comment in the file is exactly
+// the //rd:hotpath marker line.
+func hasHotPathMarker(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == HotPathMarker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isKernelTimerMethod reports whether fn is sim.Kernel.At or
+// sim.Kernel.After — the closure-form timer API.
+func isKernelTimerMethod(fn *types.Func) bool {
+	if fn.Name() != "At" && fn.Name() != "After" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Kernel" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/sim"
+}

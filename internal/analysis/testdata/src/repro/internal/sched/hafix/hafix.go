@@ -1,0 +1,45 @@
+// Package hafix exercises hotalloc inside a marked file: closures
+// handed to Kernel.At/After and fmt.Sprintf are flagged, the typed
+// AtCall/AfterCall payload is not, and a waived cold site (with a
+// written reason) is suppressed. cold.go in the same package carries
+// no marker and shows the same constructs pass unflagged there.
+package hafix
+
+//rd:hotpath
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/ticks"
+)
+
+type ticker struct {
+	k  *sim.Kernel
+	id int32
+}
+
+func (t *ticker) HandleEvent(op, id int32, arg ticks.Ticks) {}
+
+// Closure timers allocate per arming: flagged.
+func (t *ticker) armClosures() {
+	t.k.At(100, func() { t.id++ })   // want "typed AtCall payload"
+	t.k.After(50, func() { t.id++ }) // want "typed AfterCall payload"
+}
+
+// The typed payload is the sanctioned recurring-timer form.
+func (t *ticker) armTyped() {
+	t.k.AtCall(100, t, 1, t.id, 0)
+	t.k.AfterCall(50, t, 2, t.id, 0)
+}
+
+// Sprintf allocates its result every call: flagged.
+func (t *ticker) label() string {
+	return fmt.Sprintf("ticker%d", t.id) // want "fmt.Sprintf allocates"
+}
+
+// A cold site inside a hot file is waived with a written reason.
+func (t *ticker) wedge() {
+	//rdlint:allow hotalloc panic path: the run is already dead, allocation cost is irrelevant
+	panic(fmt.Sprintf("ticker %d wedged", t.id))
+}

@@ -1,0 +1,34 @@
+// kernel.go shadows the live kernel's timer API surface so hotalloc
+// fixtures resolve Kernel.At/After/AtCall/AfterCall to methods on the
+// named type Kernel in package repro/internal/sim — the exact
+// identities the analyzer gates on.
+package sim
+
+import "repro/internal/ticks"
+
+// Handler mirrors the live typed-callback interface.
+type Handler interface {
+	HandleEvent(op, id int32, arg ticks.Ticks)
+}
+
+// EventRef mirrors the live generation handle.
+type EventRef struct{}
+
+// Kernel mirrors the live kernel's timer-arming surface.
+type Kernel struct{}
+
+// At arms a closure at an absolute instant (the allocating form).
+func (k *Kernel) At(at ticks.Ticks, fn func()) EventRef { return EventRef{} }
+
+// After arms a closure after a delay (the allocating form).
+func (k *Kernel) After(d ticks.Ticks, fn func()) EventRef { return EventRef{} }
+
+// AtCall arms a typed callback at an absolute instant.
+func (k *Kernel) AtCall(at ticks.Ticks, h Handler, op, id int32, arg ticks.Ticks) EventRef {
+	return EventRef{}
+}
+
+// AfterCall arms a typed callback after a delay.
+func (k *Kernel) AfterCall(d ticks.Ticks, h Handler, op, id int32, arg ticks.Ticks) EventRef {
+	return EventRef{}
+}

@@ -128,4 +128,4 @@ func isFloatType(t types.Type) bool {
 }
 
 // Analyzers is the full rdlint suite in reporting order.
-var Analyzers = []*Analyzer{MapOrder, WallClock, RawRand, TickUnits}
+var Analyzers = []*Analyzer{MapOrder, WallClock, RawRand, TickUnits, HotAlloc}

@@ -42,7 +42,7 @@ type ntask struct {
 	donePd   ticks.Ticks // work done this period
 	stats    Stats
 
-	pendingShed *sim.Event
+	pendingShed sim.EventRef
 }
 
 // demand is the current per-period CPU requirement.
@@ -75,7 +75,7 @@ func (nf *Notifier) Add(name string, period ticks.Ticks, levels []ticks.Ticks) {
 	if nf.totalDemand() > 1.0 {
 		target := n // whoever asked last sheds
 		target.pendingShed = nf.k.After(nf.delay, func() {
-			target.pendingShed = nil
+			target.pendingShed = sim.EventRef{}
 			// Shed to the minimum; applies from the next period
 			// (problem 3: "not degrade its service until later").
 			target.level = len(target.levels) - 1

@@ -95,11 +95,7 @@ func New(cfg Config) *Distributor {
 		OverrideWindow: cfg.OverrideWindow,
 		GracePeriod:    cfg.GracePeriod,
 		SporadicSlice:  cfg.SporadicSlice,
-		OnExit: func(id task.ID) {
-			// A task that terminates naturally leaves the Resource
-			// Manager too, releasing its admission reservation.
-			_ = m.Remove(id)
-		},
+		RemoveOnExit:   true,
 	})
 	m.SetHooks(s)
 	d.sched = s

@@ -80,6 +80,13 @@ type Checker struct {
 	violations []Violation
 	seen       map[string]bool // dedupe for repeating structural findings
 
+	// Cached committed-fraction sum, keyed by the Manager's grant
+	// generation: committed sets are immutable between commits, so the
+	// sum only needs re-deriving when a new set is installed.
+	sumGen   uint64
+	sumValid bool
+	sum      ticks.Frac
+
 	periodsClosed int64
 }
 
@@ -251,16 +258,19 @@ func (c *Checker) checkCommitted(at ticks.Ticks) {
 	if c.m == nil {
 		return
 	}
-	gs := c.m.Grants()
-	sum := ticks.FracZero
-	for _, id := range gs.IDs() {
-		sum = sum.Add(gs[id].Entry.Frac())
+	if gen := c.m.GrantGeneration(); !c.sumValid || gen != c.sumGen {
+		gs := c.m.Grants()
+		sum := ticks.FracZero
+		for _, id := range gs.IDs() {
+			sum = sum.Add(gs[id].Entry.Frac())
+		}
+		c.sum, c.sumGen, c.sumValid = sum, gen, true
 	}
-	if sum.LessOrEqual(c.m.Available()) {
+	if c.sum.LessOrEqual(c.m.Available()) {
 		return
 	}
 	detail := fmt.Sprintf("committed fraction %.6f exceeds schedulable %.6f",
-		sum.Float(), c.m.Available().Float())
+		c.sum.Float(), c.m.Available().Float())
 	if c.seen[detail] {
 		return
 	}

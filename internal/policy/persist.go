@@ -42,11 +42,12 @@ func (b *Box) Save(w io.Writer) error {
 	}
 	record := func(p Policy) PolicyRecord {
 		r := PolicyRecord{Shares: make(map[string]int, len(p.Shares))}
+		//rdlint:ordered-ok body fills a map keyed by the unique member name, so the result is independent of iteration order; NameOf is a read-only lookup
 		for m, s := range p.Shares {
-			r.Shares[b.names[m]] = s
+			r.Shares[b.NameOf(m)] = s
 		}
 		if p.Exclusive != NoMember {
-			r.Exclusive = b.names[p.Exclusive]
+			r.Exclusive = b.NameOf(p.Exclusive)
 		}
 		return r
 	}
@@ -165,15 +166,11 @@ func (b *Box) clone() *Box {
 	c := &Box{
 		nextID:  b.nextID,
 		byName:  make(map[string]MemberID, len(b.byName)),
-		names:   make(map[MemberID]string, len(b.names)),
 		builtin: make(map[string]Policy, len(b.builtin)),
 		user:    make(map[string]Policy, len(b.user)),
 	}
 	for k, v := range b.byName {
 		c.byName[k] = v
-	}
-	for k, v := range b.names {
-		c.names[k] = v
 	}
 	for k, v := range b.builtin {
 		c.builtin[k] = v

@@ -101,20 +101,16 @@ func (p Policy) String() string {
 type Box struct {
 	nextID  MemberID
 	byName  map[string]MemberID
-	names   map[MemberID]string
 	builtin map[string]Policy // designer defaults, keyed by member set
 	user    map[string]Policy // user overrides, consulted first
 }
 
-// NewBox returns an empty Policy Box.
+// NewBox returns an empty Policy Box. The member and policy maps are
+// created on first write (reads and deletes on nil maps are safe), so
+// a Box that is constructed but never consulted — every underload run
+// — costs one allocation, not five.
 func NewBox() *Box {
-	return &Box{
-		nextID:  1,
-		byName:  make(map[string]MemberID),
-		names:   make(map[MemberID]string),
-		builtin: make(map[string]Policy),
-		user:    make(map[string]Policy),
-	}
+	return &Box{nextID: 1}
 }
 
 // Register correlates a task name with a MemberID, creating one if
@@ -126,13 +122,27 @@ func (b *Box) Register(name string) MemberID {
 	}
 	id := b.nextID
 	b.nextID++
+	if b.byName == nil {
+		b.byName = make(map[string]MemberID)
+	}
 	b.byName[name] = id
-	b.names[id] = name
 	return id
 }
 
-// NameOf reports the task name registered for a member.
-func (b *Box) NameOf(m MemberID) string { return b.names[m] }
+// NameOf reports the task name registered for a member. The reverse
+// lookup scans the registry: member counts are small, the callers
+// (persistence, diagnostics) are cold, and not keeping a second map
+// in sync keeps admission — which registers a member per task — at
+// one map touch.
+func (b *Box) NameOf(m MemberID) string {
+	//rdlint:ordered-ok member IDs are unique, so at most one entry matches and the result is order-independent
+	for name, id := range b.byName {
+		if id == m {
+			return name
+		}
+	}
+	return ""
+}
 
 // MemberOf reports the member ID for a task name, or NoMember.
 func (b *Box) MemberOf(name string) MemberID { return b.byName[name] }
@@ -157,6 +167,9 @@ func (b *Box) SetDefault(p Policy) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	if b.builtin == nil {
+		b.builtin = make(map[string]Policy)
+	}
 	b.builtin[keyOf(p.Members())] = p
 	return nil
 }
@@ -167,6 +180,9 @@ func (b *Box) SetDefault(p Policy) error {
 func (b *Box) SetOverride(p Policy) error {
 	if err := p.Validate(); err != nil {
 		return err
+	}
+	if b.user == nil {
+		b.user = make(map[string]Policy)
 	}
 	b.user[keyOf(p.Members())] = p
 	return nil

@@ -16,7 +16,7 @@ package rm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/task"
 	"repro/internal/ticks"
@@ -82,10 +82,13 @@ func (gs GrantSet) Equal(other GrantSet) bool {
 
 // IDs returns the granted task IDs in ascending order.
 func (gs GrantSet) IDs() []task.ID {
+	if len(gs) == 0 {
+		return nil
+	}
 	out := make([]task.ID, 0, len(gs))
 	for id := range gs {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -396,6 +396,7 @@ func (m *Manager) commit(old, gs GrantSet) {
 		}
 	}
 	m.grants = gs
+	m.gen++
 	m.pending = true
 	m.hooks.GrantsPending()
 }

@@ -1,9 +1,10 @@
 package rm
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/policy"
 	"repro/internal/resource"
@@ -101,7 +102,8 @@ type Manager struct {
 	ffuResidents int
 
 	grants  GrantSet
-	pending bool // a recomputed grant set awaits Scheduler pickup
+	gen     uint64 // bumped each time commit installs a grant set
+	pending bool   // a recomputed grant set awaits Scheduler pickup
 
 	// pressure is the degradation fraction withheld from grant
 	// computation (never from admission); see degrade.go.
@@ -151,7 +153,8 @@ func New(cfg Config) *Manager {
 		minSum:   ticks.FracZero,
 		maxSum:   ticks.FracZero,
 		pressure: ticks.FracZero,
-		grants:   GrantSet{},
+		// grants stays nil until the first commit installs a set; a
+		// nil GrantSet reads as empty everywhere.
 	}
 }
 
@@ -389,6 +392,12 @@ func (m *Manager) Reevaluate() {
 // Grants returns the committed grant set (a copy).
 func (m *Manager) Grants() GrantSet { return m.grants.Clone() }
 
+// GrantGeneration counts committed grant-set installs. Observers that
+// derive values from the committed set (e.g. the invariant Checker's
+// fraction sum) can skip recomputation while the generation is
+// unchanged, since committed sets are immutable between commits.
+func (m *Manager) GrantGeneration() uint64 { return m.gen }
+
 // HasPending reports whether a recomputed grant set awaits pickup.
 func (m *Manager) HasPending() bool { return m.pending }
 
@@ -396,9 +405,15 @@ func (m *Manager) HasPending() bool { return m.pending }
 // makes a callback to the Resource Manager to get the new grant
 // information" when it has unallocated time. It returns the current
 // grant set and clears the pending flag.
+//
+// The returned set is the committed map itself, not a copy: committed
+// sets are immutable (recomputation always installs a freshly built
+// map, see commit), and the Scheduler only reads the set, so the
+// unallocated-time pickup path avoids a per-call clone. External
+// callers get the defensive copy via Grants.
 func (m *Manager) CollectGrants() GrantSet {
 	m.pending = false
-	return m.grants.Clone()
+	return m.grants
 }
 
 // NTasks reports the number of admitted tasks (all states).
@@ -406,23 +421,29 @@ func (m *Manager) NTasks() int { return len(m.tasks) }
 
 // TaskIDs returns every admitted task ID (all states), ascending.
 func (m *Manager) TaskIDs() []task.ID {
+	if len(m.tasks) == 0 {
+		return nil
+	}
 	out := make([]task.ID, 0, len(m.tasks))
 	for id := range m.tasks {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // nonQuiescent returns admitted non-quiescent records in ID order,
 // for deterministic iteration.
 func (m *Manager) nonQuiescent() []*admitted {
+	if len(m.tasks) == 0 {
+		return nil
+	}
 	out := make([]*admitted, 0, len(m.tasks))
 	for _, a := range m.tasks {
 		if a.state != task.Quiescent {
 			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	slices.SortFunc(out, func(a, b *admitted) int { return cmp.Compare(a.id, b.id) })
 	return out
 }

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// rolloverSystem builds a scheduler with one steady periodic task (3ms
+// of work in a 10ms period) and runs it past its admission transient,
+// so that everything left on the hot path is the period-rollover
+// cycle: timer fires, period closes, new period begins, task runs to
+// completion, kernel idles to the next boundary.
+func rolloverSystem(tb testing.TB) (*sim.Kernel, *Scheduler) {
+	k, m, s := newSystem(0, sim.ZeroSwitchCosts())
+	if _, err := m.RequestAdmittance(&task.Task{
+		Name: "worker",
+		List: task.SingleLevel(10*ms, 3*ms, "Work"),
+		Body: task.PeriodicWork(3 * ms),
+	}); err != nil {
+		tb.Fatalf("admit: %v", err)
+	}
+	s.RunUntil(100 * ms)
+	return k, s
+}
+
+// BenchmarkPeriodRollover measures one full period of the steady
+// state: the closure-free wake timer, beginPeriod, a granted dispatch
+// to completion, and the idle skip to the next boundary. Steady state
+// must be 0 allocs/op — TestPeriodRolloverSteadyStateIsAllocFree
+// enforces it.
+func BenchmarkPeriodRollover(b *testing.B) {
+	k, s := rolloverSystem(b)
+	limit := k.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		limit += 10 * ms
+		s.RunUntil(limit)
+	}
+}
+
+func TestPeriodRolloverSteadyStateIsAllocFree(t *testing.T) {
+	k, s := rolloverSystem(t)
+	limit := k.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		limit += 10 * ms
+		s.RunUntil(limit)
+	})
+	if allocs != 0 {
+		t.Fatalf("period rollover steady state = %v allocs/op, want 0", allocs)
+	}
+	st, ok := s.Stats(task.ID(1))
+	if !ok || st.Periods == 0 {
+		t.Fatal("task never rolled a period: the measurement measured nothing")
+	}
+}

@@ -2,8 +2,10 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/rm"
+	"repro/internal/sim"
 	"repro/internal/task"
 	"repro/internal/ticks"
 )
@@ -44,10 +46,8 @@ func (s *Scheduler) dropTask(t *tcb) {
 	t.dropped = true
 	s.dequeue(t)
 	s.setOvertime(t, false)
-	if t.wakeEvent != nil {
-		s.k.Cancel(t.wakeEvent)
-		t.wakeEvent = nil
-	}
+	s.k.Cancel(t.wakeEvent)
+	t.wakeEvent = sim.EventRef{}
 	if t.ssCurrent != nil {
 		// An active §5.1 grant assignment dies with the grant; the
 		// sporadic task returns to the server's queue untouched.
@@ -58,6 +58,14 @@ func (s *Scheduler) dropTask(t *tcb) {
 		s.running = nil
 	}
 	delete(s.tasks, t.id)
+	for i, x := range s.byID {
+		if x == t {
+			copy(s.byID[i:], s.byID[i+1:])
+			s.byID[len(s.byID)-1] = nil
+			s.byID = s.byID[:len(s.byID)-1]
+			break
+		}
+	}
 }
 
 // collectGrants is the §4.2 unallocated-time callback: fetch the
@@ -118,6 +126,10 @@ func (s *Scheduler) startTask(id task.ID, g rm.Grant, now ticks.Ticks) {
 		delete(s.pendingSS, id)
 	}
 	s.tasks[id] = t
+	i := sort.Search(len(s.byID), func(i int) bool { return s.byID[i].id >= t.id })
+	s.byID = append(s.byID, nil)
+	copy(s.byID[i+1:], s.byID[i:])
+	s.byID[i] = t
 	s.beginPeriod(t, now)
 	s.obs.OnGrantApplied(id, g)
 }
@@ -213,22 +225,12 @@ func (t *tcb) takeInsertedIdle() ticks.Ticks {
 	return d
 }
 
-// tasksByID returns tcbs in ascending task ID order, for
-// deterministic iteration over the map.
-func (s *Scheduler) tasksByID() []*tcb {
-	out := make([]*tcb, 0, len(s.tasks))
-	//rdlint:ordered-ok the insertion sort below restores ascending task ID order
-	for _, t := range s.tasks {
-		out = append(out, t)
-	}
-	// Insertion sort; n is small.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].id < out[j-1].id; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
+// tasksByID returns tcbs in ascending task ID order. The slice is the
+// live byID index (maintained by startTask/dropTask), not a snapshot:
+// callers iterate it on every scheduler loop pass, and rebuilding plus
+// sorting a copy per call was the simulator's single largest
+// allocation source. Callers must not hold it across task add/drop.
+func (s *Scheduler) tasksByID() []*tcb { return s.byID }
 
 // InsertIdleCycles postpones the start of id's next period by n ticks
 // (§5.4). Postponement cannot jeopardise other tasks' guarantees;
@@ -263,10 +265,8 @@ func (s *Scheduler) wake(t *tcb) {
 	t.blocked = false
 	t.wokenMidPeriod = true
 	t.wokeAt = s.k.Now()
-	if t.wakeEvent != nil {
-		s.k.Cancel(t.wakeEvent)
-		t.wakeEvent = nil
-	}
+	s.k.Cancel(t.wakeEvent)
+	t.wakeEvent = sim.EventRef{}
 }
 
 // Deadline reports id's current period deadline, for tests and the

@@ -1,3 +1,4 @@
+//rd:hotpath
 package sched
 
 import (
@@ -28,13 +29,11 @@ func (s *Scheduler) AddInterruptLoad(interval, service ticks.Ticks) error {
 	if service >= interval {
 		return fmt.Errorf("sched: interrupt service %v must be below interval %v", service, interval)
 	}
-	var fire func()
-	fire = func() {
-		s.k.RunInterrupt(service)
-		// Re-arm relative to the nominal schedule so the load is
-		// exactly service/interval regardless of handler time.
-		s.k.After(interval-service, fire)
-	}
-	s.k.After(interval, fire)
+	// The source is registered under an index and re-armed by the typed
+	// opInterrupt event (see HandleEvent) — one pooled kernel event per
+	// source for the whole run, instead of a closure per firing.
+	idx := int32(len(s.interrupts))
+	s.interrupts = append(s.interrupts, interruptSource{interval: interval, service: service})
+	s.k.AfterCall(interval, s, opInterrupt, idx, 0)
 	return nil
 }

@@ -1,3 +1,4 @@
+//rd:hotpath
 package sched
 
 import (
@@ -104,7 +105,7 @@ func (s *Scheduler) choose() (*tcb, DispatchKind) {
 func (s *Scheduler) idleUntilNextInterest(limit ticks.Ticks) {
 	now := s.k.Now()
 	next := limit
-	for _, t := range s.tasks {
+	for _, t := range s.byID {
 		if t.blocked {
 			continue
 		}
@@ -141,7 +142,7 @@ func (s *Scheduler) idleUntilNextInterest(limit ticks.Ticks) {
 // end precedes the period end of the thread about to run.
 func (s *Scheduler) preemptTime(cur *tcb) ticks.Ticks {
 	best := maxTicks
-	for _, t := range s.tasks {
+	for _, t := range s.byID {
 		if t == cur || t.blocked {
 			continue
 		}
@@ -162,7 +163,7 @@ func (s *Scheduler) preemptTime(cur *tcb) ticks.Ticks {
 // the CPU, because granted time always outranks overtime.
 func (s *Scheduler) preemptTimeAny(cur *tcb) ticks.Ticks {
 	best := maxTicks
-	for _, t := range s.tasks {
+	for _, t := range s.byID {
 		if t.blocked {
 			continue
 		}
@@ -387,9 +388,7 @@ func (s *Scheduler) resolve(cur *tcb, kind DispatchKind, reason switchReason, ti
 	case task.OpExit:
 		cur.lastExitVoluntary = true
 		s.dropTask(cur)
-		if s.onExit != nil {
-			s.onExit(cur.id)
-		}
+		s.taskExited(cur.id)
 
 	case task.OpOvertime:
 		cur.completed = cur.completed || res.Completed
@@ -437,6 +436,20 @@ func (s *Scheduler) resolve(cur *tcb, kind DispatchKind, reason switchReason, ti
 	cur.coldCache = !cur.lastExitVoluntary
 }
 
+// taskExited runs the post-exit plumbing after dropTask: release the
+// admission reservation (Config.RemoveOnExit), then the caller's hook.
+func (s *Scheduler) taskExited(id task.ID) {
+	if s.removeOnExit {
+		// A task that terminates naturally leaves the Resource Manager
+		// too. The GrantRemoved signal this triggers finds the tcb
+		// already dropped and is a no-op.
+		_ = s.rmg.Remove(id)
+	}
+	if s.onExit != nil {
+		s.onExit(id)
+	}
+}
+
 // block takes cur off the CPU and queues until woken.
 func (s *Scheduler) block(cur *tcb, blockFor ticks.Ticks) {
 	cur.blocked = true
@@ -444,11 +457,7 @@ func (s *Scheduler) block(cur *tcb, blockFor ticks.Ticks) {
 	s.setOvertime(cur, false)
 	s.obs.OnBlock(cur.id, s.k.Now())
 	if blockFor > 0 {
-		t := cur
-		cur.wakeEvent = s.k.After(blockFor, func() {
-			t.wakeEvent = nil
-			s.wake(t)
-		})
+		cur.wakeEvent = s.k.AfterCall(blockFor, s, opWakeTask, int32(cur.id), 0)
 	}
 }
 
@@ -514,9 +523,7 @@ func (s *Scheduler) maybeGrace(cur *tcb, reason switchReason) {
 	case task.OpExit:
 		cur.lastExitVoluntary = true
 		s.dropTask(cur)
-		if s.onExit != nil {
-			s.onExit(cur.id)
-		}
+		s.taskExited(cur.id)
 	default:
 		// Failed to yield inside the grace period: involuntary
 		// preemption plus an exception callback on next dispatch.

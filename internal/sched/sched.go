@@ -148,7 +148,7 @@ type tcb struct {
 	// blocked" (§4.2), i.e. at the next rollover.
 	wokenMidPeriod bool
 	wokeAt         ticks.Ticks // when the task last unblocked
-	wakeEvent      *sim.Event
+	wakeEvent      sim.EventRef
 	// lastExitVoluntary records how the task last left the CPU, to
 	// pick the switch-cost class when another thread comes on.
 	lastExitVoluntary bool
@@ -200,9 +200,15 @@ type Config struct {
 	// Server (§5.1, "currently 10 ms"). Zero selects 10 ms.
 	SporadicSlice ticks.Ticks
 
+	// RemoveOnExit removes a task from the Resource Manager when its
+	// body returns OpExit, releasing its admission reservation.
+	// internal/core sets it; standalone Scheduler tests that inspect
+	// Manager state after an exit leave it off.
+	RemoveOnExit bool
+
 	// OnExit is called when a task's body returns OpExit, after the
-	// Scheduler drops it; the caller (internal/core) removes it from
-	// the Resource Manager. May be nil.
+	// Scheduler drops it (and after the RemoveOnExit removal, if
+	// enabled). May be nil.
 	OnExit func(id task.ID)
 }
 
@@ -212,12 +218,19 @@ type Scheduler struct {
 	rmg *rm.Manager
 	obs Observer
 
-	override ticks.Ticks
-	grace    ticks.Ticks
-	ssSlice  ticks.Ticks
-	onExit   func(task.ID)
+	override     ticks.Ticks
+	grace        ticks.Ticks
+	ssSlice      ticks.Ticks
+	removeOnExit bool
+	onExit       func(task.ID)
 
 	tasks map[task.ID]*tcb
+	// byID mirrors tasks in ascending ID order, maintained
+	// incrementally by startTask/dropTask so the per-iteration
+	// rollPeriods walk never rebuilds or sorts a snapshot.
+	byID []*tcb
+
+	interrupts []interruptSource // §5.2 sources, indexed by opInterrupt id
 
 	timeRemaining []*tcb // deadline-ordered
 	timeExpired   []*tcb // deadline-ordered
@@ -263,14 +276,15 @@ func New(cfg Config) *Scheduler {
 		slice = ticks.FromMilliseconds(10)
 	}
 	return &Scheduler{
-		k:        cfg.Kernel,
-		rmg:      cfg.RM,
-		obs:      obs,
-		override: override,
-		grace:    grace,
-		ssSlice:  slice,
-		onExit:   cfg.OnExit,
-		tasks:    make(map[task.ID]*tcb),
+		k:            cfg.Kernel,
+		rmg:          cfg.RM,
+		obs:          obs,
+		override:     override,
+		grace:        grace,
+		ssSlice:      slice,
+		removeOnExit: cfg.RemoveOnExit,
+		onExit:       cfg.OnExit,
+		tasks:        make(map[task.ID]*tcb),
 	}
 }
 
@@ -365,10 +379,9 @@ func (s *Scheduler) NTasks() int { return len(s.tasks) }
 
 // TaskIDs returns the scheduled task IDs in ascending order.
 func (s *Scheduler) TaskIDs() []task.ID {
-	out := make([]task.ID, 0, len(s.tasks))
-	for id := range s.tasks {
-		out = append(out, id)
+	out := make([]task.ID, 0, len(s.byID))
+	for _, t := range s.byID {
+		out = append(out, t.id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -1,3 +1,4 @@
+//rd:hotpath
 package sched
 
 import (
@@ -27,7 +28,7 @@ type sporadicTask struct {
 	name    string
 	body    task.Body
 	blocked bool
-	wake    *sim.Event
+	wake    sim.EventRef
 	stats   SporadicStats
 }
 
@@ -74,9 +75,7 @@ func (s *Scheduler) AddSporadic(name string, body task.Body) SporadicID {
 func (s *Scheduler) RemoveSporadic(id SporadicID) {
 	for i, sp := range s.sporadics {
 		if sp.id == id {
-			if sp.wake != nil {
-				s.k.Cancel(sp.wake)
-			}
+			s.k.Cancel(sp.wake)
 			s.sporadics = append(s.sporadics[:i], s.sporadics[i+1:]...)
 			s.clearSSAssignment(sp)
 			return
@@ -89,10 +88,8 @@ func (s *Scheduler) SporadicWake(id SporadicID) {
 	for _, sp := range s.sporadics {
 		if sp.id == id {
 			sp.blocked = false
-			if sp.wake != nil {
-				s.k.Cancel(sp.wake)
-				sp.wake = nil
-			}
+			s.k.Cancel(sp.wake)
+			sp.wake = sim.EventRef{}
 			return
 		}
 	}
@@ -161,11 +158,7 @@ func (s *Scheduler) runAssigned(cur *tcb, ctx task.RunContext) task.RunResult {
 		cur.ssCurrent = nil
 		cur.ssAssignLeft = 0
 		if res.BlockFor > 0 {
-			spc := sp
-			sp.wake = s.k.After(res.BlockFor, func() {
-				spc.wake = nil
-				spc.blocked = false
-			})
+			sp.wake = s.k.AfterCall(res.BlockFor, s, opWakeSporadic, int32(sp.id), 0)
 		}
 	case task.OpExit:
 		s.RemoveSporadic(sp.id)
@@ -318,11 +311,7 @@ func (s *Scheduler) runSporadicServer(cur *tcb, ctx task.RunContext) task.RunRes
 			sp.blocked = true
 			cur.ssCurrent = nil
 			if res.BlockFor > 0 {
-				spc := sp
-				sp.wake = s.k.After(res.BlockFor, func() {
-					spc.wake = nil
-					spc.blocked = false
-				})
+				sp.wake = s.k.AfterCall(res.BlockFor, s, opWakeSporadic, int32(sp.id), 0)
 			}
 		case task.OpExit:
 			s.RemoveSporadic(sp.id)

@@ -92,8 +92,10 @@ type SwitchCosts struct {
 	CacheRefillUS float64
 }
 
-// PaperSwitchCosts returns the cost model calibrated to §6.1.
-func PaperSwitchCosts() SwitchCosts {
+// paperCosts is calibrated once at init: the bisection runs ~80
+// Gamma/Pow evaluations per distribution, which is pure overhead when
+// a sweep constructs thousands of kernels.
+var paperCosts = func() SwitchCosts {
 	sc := SwitchCosts{
 		Vol:   CostDist{Min: 11.5, Median: 18.3, Mean: 20.7},
 		Invol: CostDist{Min: 16.9, Median: 28.2, Mean: 35.0},
@@ -101,6 +103,11 @@ func PaperSwitchCosts() SwitchCosts {
 	sc.Vol.calibrate()
 	sc.Invol.calibrate()
 	return sc
+}()
+
+// PaperSwitchCosts returns the cost model calibrated to §6.1.
+func PaperSwitchCosts() SwitchCosts {
+	return paperCosts
 }
 
 // ZeroSwitchCosts returns a model in which context switches are free.

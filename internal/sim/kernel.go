@@ -1,3 +1,4 @@
+//rd:hotpath
 package sim
 
 import (
@@ -23,8 +24,8 @@ import (
 type Kernel struct {
 	now    ticks.Ticks
 	events EventQueue
-	rng    *RNG
-	peek   *RNG // substream for read-only cost probes; never feeds the run
+	rng    RNG
+	peek   RNG // substream for read-only cost probes; never feeds the run
 	costs  SwitchCosts
 
 	// timerFault, when non-nil, perturbs event delivery times (late
@@ -76,8 +77,8 @@ func NewKernel(cfg Config) *Kernel {
 		budget = DefaultSameTickBudget
 	}
 	return &Kernel{
-		rng:        NewRNG(cfg.Seed),
-		peek:       NewRNG(SplitSeed(cfg.Seed, 1)),
+		rng:        *NewRNG(cfg.Seed),
+		peek:       *NewRNG(SplitSeed(cfg.Seed, 1)),
 		costs:      cfg.Costs,
 		tickBudget: budget,
 	}
@@ -88,14 +89,21 @@ func (k *Kernel) Now() ticks.Ticks { return k.now }
 
 // RNG exposes the kernel's deterministic generator, for workload
 // models that need randomness tied to the run's seed.
-func (k *Kernel) RNG() *RNG { return k.rng }
+func (k *Kernel) RNG() *RNG { return &k.rng }
 
 // At schedules fn to run at virtual time at. Scheduling in the past
 // (before Now) panics: it would silently corrupt causality. An
 // installed TimerFault may deliver the event later than asked (never
 // earlier), modelling late and coalesced timer interrupts.
-func (k *Kernel) At(at ticks.Ticks, fn func()) *Event {
+//
+// The closure forms At/After are for one-shot and cold-path timers.
+// Recurring hot-path timers should use AtCall/AfterCall, which carry
+// a typed payload on a pooled event and allocate nothing in steady
+// state (enforced by the hotalloc analyzer in files marked
+// //rd:hotpath).
+func (k *Kernel) At(at ticks.Ticks, fn func()) EventRef {
 	if at < k.now {
+		//rdlint:allow hotalloc panic path: the run is already dead, allocation cost is irrelevant
 		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", at, k.now))
 	}
 	if k.timerFault != nil {
@@ -104,13 +112,32 @@ func (k *Kernel) At(at ticks.Ticks, fn func()) *Event {
 	return k.events.Push(at, fn)
 }
 
+// AtCall schedules a typed (closure-free) callback at virtual time at:
+// h.HandleEvent(op, id, arg) runs with the clock set to at. Same
+// past-scheduling panic and TimerFault perturbation as At.
+func (k *Kernel) AtCall(at ticks.Ticks, h Handler, op, id int32, arg ticks.Ticks) EventRef {
+	if at < k.now {
+		//rdlint:allow hotalloc panic path: the run is already dead, allocation cost is irrelevant
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", at, k.now))
+	}
+	if k.timerFault != nil {
+		at = k.timerFault.adjust(at)
+	}
+	return k.events.PushCall(at, h, op, id, arg)
+}
+
 // After schedules fn to run d ticks from now.
-func (k *Kernel) After(d ticks.Ticks, fn func()) *Event {
+func (k *Kernel) After(d ticks.Ticks, fn func()) EventRef {
 	return k.At(k.now+d, fn)
 }
 
-// Cancel cancels a pending event.
-func (k *Kernel) Cancel(e *Event) { k.events.Cancel(e) }
+// AfterCall schedules a typed callback d ticks from now.
+func (k *Kernel) AfterCall(d ticks.Ticks, h Handler, op, id int32, arg ticks.Ticks) EventRef {
+	return k.AtCall(k.now+d, h, op, id, arg)
+}
+
+// Cancel cancels a pending event. Zero and stale refs are no-ops.
+func (k *Kernel) Cancel(e EventRef) { k.events.Cancel(e) }
 
 // NextEventTime reports when the next pending event fires.
 func (k *Kernel) NextEventTime() (ticks.Ticks, bool) { return k.events.PeekTime() }
@@ -124,7 +151,18 @@ func (k *Kernel) Step() bool {
 	if k.stall != nil {
 		return false
 	}
-	e := k.events.Pop()
+	return k.dispatch()
+}
+
+// dispatch pops and runs the earliest pending event, maintaining the
+// same-tick budget. The budget check peeks before popping: a stalled
+// event stays queued (causality is intact, the clock holds at the
+// stall instant) and the pooled event is never handed out. On
+// dispatch, the payload is read into locals and the event released
+// before the callback runs, so callbacks that immediately re-arm
+// reuse the very event that fired them.
+func (k *Kernel) dispatch() bool {
+	e := k.events.min()
 	if e == nil {
 		return false
 	}
@@ -132,16 +170,23 @@ func (k *Kernel) Step() bool {
 		k.tickCount++
 		if k.tickBudget > 0 && k.tickCount > k.tickBudget {
 			k.stall = &StallInfo{At: e.At, Events: k.tickCount}
-			// Put causality back: the popped event never ran.
-			k.events.Push(e.At, e.Fn)
 			return false
 		}
 	} else {
 		k.tickAt = e.At
 		k.tickCount = 1
 	}
+	k.events.removeAt(0)
 	k.now = e.At
-	e.Fn()
+	if e.h != nil {
+		h, op, id, arg := e.h, e.op, e.id, e.arg
+		k.events.release(e)
+		h.HandleEvent(op, id, arg)
+	} else {
+		fn := e.Fn
+		k.events.release(e)
+		fn()
+	}
 	return true
 }
 
@@ -149,15 +194,17 @@ func (k *Kernel) Step() bool {
 // the queue drains, or the livelock guard trips (see Stalled). The
 // clock is left at min(limit, last event time); it is advanced to
 // limit if the queue drains earlier so that callers can account
-// trailing idle time. A stalled kernel leaves the clock at the stall
-// instant so the caller can report it.
+// trailing idle time (the idle skip-ahead: the gap from the last
+// event to limit is one clock assignment, not a walk). A stalled
+// kernel leaves the clock at the stall instant so the caller can
+// report it.
 func (k *Kernel) RunUntil(limit ticks.Ticks) {
 	for {
-		at, ok := k.events.PeekTime()
-		if !ok || at > limit {
+		e := k.events.min()
+		if e == nil || e.At > limit {
 			break
 		}
-		if !k.Step() {
+		if k.stall != nil || !k.dispatch() {
 			return
 		}
 	}
@@ -176,6 +223,7 @@ func (k *Kernel) Advance(d ticks.Ticks) {
 	}
 	target := k.now + d
 	if at, ok := k.events.PeekTime(); ok && at < target {
+		//rdlint:allow hotalloc panic path: the run is already dead, allocation cost is irrelevant
 		panic(fmt.Sprintf("sim: Advance(%v) would skip event at %v (now %v)", d, at, k.now))
 	}
 	k.now = target
@@ -196,7 +244,7 @@ func (k *Kernel) AdvanceThrough(d ticks.Ticks) {
 // advances the clock by it (firing any events that land inside the
 // switch), updates counters, and returns the cost.
 func (k *Kernel) ChargeSwitch(kind SwitchKind) ticks.Ticks {
-	c := k.costs.Sample(kind, k.rng)
+	c := k.costs.Sample(kind, &k.rng)
 	if kind == Voluntary {
 		k.volSwitches++
 	} else {
@@ -215,7 +263,7 @@ func (k *Kernel) ChargeSwitch(kind SwitchKind) ticks.Ticks {
 // every subsequently sampled switch cost (the probe sequence is still
 // deterministic per seed).
 func (k *Kernel) PeekSwitchCost(kind SwitchKind) ticks.Ticks {
-	return k.costs.Sample(kind, k.peek)
+	return k.costs.Sample(kind, &k.peek)
 }
 
 // CacheRefill reports the configured cold-cache resume penalty.

@@ -90,7 +90,7 @@ type Transfer struct {
 	bytes     int64
 	remaining int64 // bytes still to move
 	onDone    func()
-	event     *sim.Event
+	event     sim.EventRef
 	started   ticks.Ticks
 	ch        *Channel
 }
@@ -200,7 +200,7 @@ func (c *Channel) Close() {
 	if c.closed {
 		return
 	}
-	if len(c.queue) > 0 && c.queue[0].event != nil {
+	if len(c.queue) > 0 {
 		c.engine.k.Cancel(c.queue[0].event)
 	}
 	c.queue = nil

@@ -275,6 +275,24 @@ func addOK(a, b int64) (int64, bool) {
 
 // Cmp compares f to g: -1 if f<g, 0 if equal, +1 if f>g.
 func (f Frac) Cmp(g Frac) int {
+	// Fast path: with positive denominators and no overflow, compare
+	// cross-products directly and skip Sub's reduce/GCD work. Whenever
+	// this path applies, Sub's exact path would apply too (it reduces
+	// first, gaining headroom), so the answer is identical.
+	if f.Den > 0 && g.Den > 0 {
+		if a, ok1 := mulOK(f.Num, g.Den); ok1 {
+			if b, ok2 := mulOK(g.Num, f.Den); ok2 {
+				switch {
+				case a < b:
+					return -1
+				case a > b:
+					return 1
+				default:
+					return 0
+				}
+			}
+		}
+	}
 	d := f.Sub(g)
 	switch {
 	case d.Num < 0:

@@ -79,20 +79,31 @@ type MPEG struct {
 	doneCost ticks.Ticks // decode work already spent this period
 }
 
+// defaultGOPFrames is DefaultGOP decoded once; decoders index it and
+// never write through it.
+var defaultGOPFrames = []FrameType(DefaultGOP)
+
 // NewMPEG returns a decoder with the standard GOP.
 func NewMPEG() *MPEG {
-	m := &MPEG{gop: []FrameType(DefaultGOP)}
+	m := &MPEG{gop: defaultGOPFrames}
 	return m
 }
 
-// MPEGList is Table 2 verbatim.
+// mpegTable2 is the shared backing for MPEGList. Admission clones
+// resource lists before retaining them (task.ResourceList.Clone), so
+// handing every caller the same slice is safe as long as callers
+// treat it as read-only.
+var mpegTable2 = task.ResourceList{
+	{Period: 900_000, CPU: 300_000, Fn: "FullDecompress"},
+	{Period: 3_600_000, CPU: 900_000, Fn: "Drop_B_in_4"},
+	{Period: 2_700_000, CPU: 600_000, Fn: "Drop_B_in_3"},
+	{Period: 3_600_000, CPU: 600_000, Fn: "Drop_2B_in_4"},
+}
+
+// MPEGList is Table 2 verbatim. The returned list is shared and must
+// not be mutated.
 func MPEGList() task.ResourceList {
-	return task.ResourceList{
-		{Period: 900_000, CPU: 300_000, Fn: "FullDecompress"},
-		{Period: 3_600_000, CPU: 900_000, Fn: "Drop_B_in_4"},
-		{Period: 2_700_000, CPU: 600_000, Fn: "Drop_B_in_3"},
-		{Period: 3_600_000, CPU: 600_000, Fn: "Drop_2B_in_4"},
-	}
+	return mpegTable2
 }
 
 // Task wraps the decoder in a descriptor ready for admission. MPEG is
