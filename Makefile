@@ -6,7 +6,7 @@ GO ?= go
 BENCH_REGEX = KernelStep|PeriodRollover|SweepCell|Table2MPEGDecodeSecond|BenchmarkEventQueue$$|SchedulerSteadyState
 BENCH_PKGS  = . ./internal/sim ./internal/sched ./internal/sweep
 
-.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke bench bench-smoke ci
+.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke bench bench-smoke telemetry-smoke telemetry-golden ci
 
 all: build test lint
 
@@ -61,6 +61,31 @@ fault-smoke:
 	cmp fault-w4.json fault-w1.json
 	rm -f fault-w4.json fault-w1.json
 
+# Telemetry smoke (see docs/OBSERVABILITY.md): the telemetry suite,
+# then a seeded scenario run twice — the rdtel/v1 manifests must be
+# byte-identical — and an export that must pass the Chrome trace-event
+# structural validation and byte-match the committed goldens under
+# internal/telemetry/testdata/. -build '' keeps git state out of the
+# comparison. Regenerate the goldens with `make telemetry-golden`
+# after an intentional format change.
+TELEMETRY_RUN = $(GO) run ./cmd/rdsim -scenario settop -seed 7 -horizon 100ms -build ''
+
+telemetry-smoke:
+	$(GO) test -count=1 ./internal/telemetry/...
+	$(TELEMETRY_RUN) -manifest tel-a.json > /dev/null
+	$(TELEMETRY_RUN) -manifest tel-b.json > /dev/null
+	cmp tel-a.json tel-b.json
+	$(GO) run ./cmd/rdtrace export -perfetto -validate -o tel-trace.json tel-a.json
+	cmp tel-a.json internal/telemetry/testdata/settop-smoke.manifest.golden
+	cmp tel-trace.json internal/telemetry/testdata/settop-smoke.perfetto.golden
+	rm -f tel-a.json tel-b.json tel-trace.json
+
+telemetry-golden:
+	$(TELEMETRY_RUN) -manifest internal/telemetry/testdata/settop-smoke.manifest.golden > /dev/null
+	$(GO) run ./cmd/rdtrace export -perfetto -validate \
+		-o internal/telemetry/testdata/settop-smoke.perfetto.golden \
+		internal/telemetry/testdata/settop-smoke.manifest.golden
+
 # Refresh the "current" sections of the committed benchmark baselines:
 # hot-path benchmarks into BENCH_kernel.json, single-worker sweep
 # throughput into BENCH_sweep.json. The pr-start-baseline sections are
@@ -83,4 +108,4 @@ bench-smoke:
 	$(GO) test -run=NONE -bench '$(BENCH_REGEX)' -benchtime=1x -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/rdperf compare -against BENCH_kernel.json -section current -threshold 10
 
-ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke bench-smoke
+ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke telemetry-smoke bench-smoke

@@ -38,7 +38,7 @@ func expSporadicLatency() {
 	}{
 		{2, 1}, {5, 1}, {10, 1}, {18, 1}, {10, 2}, {10, 4},
 	} {
-		d := core.New(core.Config{Seed: 3, SwitchCosts: zeroCosts()})
+		d := newDist(core.Config{Seed: 3, SwitchCosts: zeroCosts()})
 		_, err := d.AddSporadicServer("ss",
 			task.SingleLevel(10*ms, 10*ms*ticks.Ticks(cfg.grantPct)/100, "SS"), false)
 		if err != nil {
@@ -123,7 +123,7 @@ func expInterrupts() {
 		// Zero switch costs isolate the interrupt dimension; with the
 		// stochastic cost model the reserve must cover switch
 		// overhead too (~0.5-1%), shifting the knee left.
-		d := core.New(core.Config{
+		d := newDist(core.Config{
 			Seed:                    3,
 			SwitchCosts:             zeroCosts(),
 			InterruptReservePercent: 4,
@@ -159,7 +159,7 @@ func expPeriods() {
 	fmt.Println("interrupts required' for ANY period set")
 	run := func(name string, periodsMs []int64) {
 		rec := trace.New()
-		d := core.New(core.Config{Seed: 11, Observer: rec})
+		d := newDist(core.Config{Seed: 11, Observer: rec})
 		for i, p := range periodsMs {
 			period := ticks.FromMilliseconds(p)
 			cpu := period / 5 // 20% each
@@ -194,7 +194,7 @@ func expAblateOverride() {
 	fmt.Printf("  %12s %10s %10s %12s %8s\n", "window (us)", "vol", "invol", "switch CPU%", "misses")
 	for _, us := range []int64{0, 50, 100, 200, 500, 1000, 5000} {
 		rec := trace.New()
-		d := core.New(core.Config{
+		d := newDist(core.Config{
 			Seed:           3,
 			OverrideWindow: ticks.FromMicroseconds(us),
 			Observer:       rec,
@@ -226,7 +226,7 @@ func expAblateGrace() {
 	fmt.Printf("  %12s %10s %10s %12s %8s\n", "grace (us)", "invol", "overruns", "switch CPU%", "misses")
 	for _, us := range []int64{25, 50, 100, 200, 400, 800} {
 		rec := trace.New()
-		d := core.New(core.Config{
+		d := newDist(core.Config{
 			Seed:        3,
 			GracePeriod: ticks.FromMicroseconds(us),
 			Observer:    rec,
@@ -260,7 +260,7 @@ func expAblateReserve() {
 	fmt.Printf("  %12s %14s %14s %8s\n", "reserve (%)", "thread2 (ms)", "granted (%)", "misses")
 	for _, pct := range []int64{0, 2, 4, 8, 16} {
 		rec := trace.New()
-		d := core.New(core.Config{
+		d := newDist(core.Config{
 			Seed:                    3,
 			InterruptReservePercent: pct,
 			Observer:                rec,
@@ -292,7 +292,7 @@ func expAblateSlice() {
 	fmt.Println("two sporadic hogs behind a 10ms/2ms Sporadic Server, 1s per point")
 	fmt.Printf("  %12s %12s %12s %14s\n", "slice (ms)", "hog-a (ms)", "hog-b (ms)", "alternations")
 	for _, sliceMs := range []int64{1, 5, 10, 20, 50} {
-		d := core.New(core.Config{
+		d := newDist(core.Config{
 			Seed:          3,
 			SporadicSlice: ticks.FromMilliseconds(sliceMs),
 		})

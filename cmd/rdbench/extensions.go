@@ -38,7 +38,7 @@ func expBaselines() {
 	fsMPEG.Flush()
 
 	rdMPEG := workload.NewMPEG()
-	d := core.New(core.Config{SwitchCosts: zeroCosts()})
+	d := newDist(core.Config{SwitchCosts: zeroCosts()})
 	_, _ = d.RequestAdmittance(rdMPEG.Task())
 	for _, n := range []string{"w1", "w2", "w3"} {
 		_, _ = d.RequestAdmittance(&task.Task{
@@ -64,7 +64,7 @@ func expBaselines() {
 	_ = r.Reserve("bg", 10*ms, 2*ms, task.Busy())
 	r.RunUntil(ticks.PerSecond)
 
-	d2 := core.New(core.Config{SwitchCosts: zeroCosts()})
+	d2 := newDist(core.Config{SwitchCosts: zeroCosts()})
 	_, _ = d2.RequestAdmittance(&task.Task{
 		Name: "variable", List: task.SingleLevel(10*ms, 8*ms, "V"), Body: task.PeriodicWork(2 * ms),
 	})
@@ -134,7 +134,7 @@ func init() {
 func expStreamer() {
 	fmt.Println("a 100KB transfer every 10ms through a channel rated at the task's")
 	fmt.Println("granted StreamerMBps; a CPU hog arrives at t=500ms and sheds it")
-	d := core.New(core.Config{SwitchCosts: zeroCosts()})
+	d := newDist(core.Config{SwitchCosts: zeroCosts()})
 	e := streamer.New(d.Kernel(), 400)
 	list := task.ResourceList{
 		{Period: 270_000, CPU: 81_000, Fn: "StreamHQ", StreamerMBps: 200},
@@ -204,7 +204,7 @@ func expLatency() {
 	fmt.Println("paper: max latency = 2*period - 2*CPU (grant at the start of one")
 	fmt.Println("period, then at the end of the next); Table 4 workload, 10s")
 	rec := recFor(10 * ticks.PerSecond)
-	d := core.New(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
+	d := newDist(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
 	_, _ = d.RequestAdmittance(workload.NewModem().Task(false))
 	_, _ = d.RequestAdmittance(workload.NewGraphics3D(42).Task())
 	_, _ = d.RequestAdmittance(workload.NewMPEG().Task())
@@ -252,7 +252,7 @@ func expNotify() {
 	}
 
 	zero := sim.ZeroSwitchCosts()
-	d := core.New(core.Config{SwitchCosts: &zero})
+	d := newDist(core.Config{SwitchCosts: &zero})
 	list := task.ResourceList{
 		{Period: 10 * ms, CPU: 4 * ms, Fn: "Hi"},
 		{Period: 10 * ms, CPU: 1 * ms, Fn: "Lo"},
@@ -300,7 +300,7 @@ func expClock() {
 		if err != nil {
 			panic(err)
 		}
-		d := core.New(core.Config{SwitchCosts: zeroCosts()})
+		d := newDist(core.Config{SwitchCosts: zeroCosts()})
 		var id task.ID
 		body := task.BodyFunc(func(ctx task.RunContext) task.RunResult {
 			if ctx.NewPeriod {

@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // experiment is one reproducible artifact from the paper.
@@ -42,9 +45,23 @@ var experiments = []experiment{
 	{"clock", "§5.4: external-clock skew compensation", expClock},
 }
 
+// benchTelemetry is non-nil when -manifest was given. Every experiment
+// builds its Distributors through newDist, so all of an invocation's
+// runs register into the one registry and the manifest aggregates the
+// whole invocation (like an rdsweep cell aggregates its runs).
+var benchTelemetry *telemetry.Set
+
+// newDist is the only way rdbench experiments assemble a Distributor:
+// core.New plus the invocation-wide telemetry set.
+func newDist(cfg core.Config) *core.Distributor {
+	cfg.Telemetry = benchTelemetry
+	return core.New(cfg)
+}
+
 func main() {
 	exp := flag.String("exp", "", "run a single experiment by name")
 	list := flag.Bool("list", false, "list experiment names")
+	manifestOut := flag.String("manifest", "", "write an rdtel/v1 manifest aggregating the invocation to this file ('-' for stdout)")
 	flag.Parse()
 
 	if *list {
@@ -53,21 +70,59 @@ func main() {
 		}
 		return
 	}
+	if *manifestOut != "" {
+		// Registry only: experiments run many unrelated kernels, so
+		// interleaved span timelines would mislead more than inform.
+		benchTelemetry = &telemetry.Set{Registry: telemetry.NewRegistry()}
+	}
+	ran := make([]string, 0, len(experiments))
 	if *exp != "" {
+		found := false
 		for _, e := range experiments {
 			if e.name == *exp {
 				banner(e.title)
 				e.run()
-				return
+				ran = append(ran, e.name)
+				found = true
+				break
 			}
 		}
-		fmt.Fprintf(os.Stderr, "rdbench: unknown experiment %q (try -list)\n", *exp)
-		os.Exit(2)
+		if !found {
+			fmt.Fprintf(os.Stderr, "rdbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+	} else {
+		for _, e := range experiments {
+			banner(e.title)
+			e.run()
+			fmt.Println()
+			ran = append(ran, e.name)
+		}
 	}
-	for _, e := range experiments {
-		banner(e.title)
-		e.run()
-		fmt.Println()
+	if *manifestOut != "" {
+		writeManifest(*manifestOut, ran)
+	}
+}
+
+func writeManifest(path string, ran []string) {
+	man := telemetry.NewManifest(0)
+	man.Build = telemetry.GitDescribe()
+	man.ConfigDigest = telemetry.ConfigDigest(ran)
+	man.Fill(benchTelemetry)
+	man.DeriveTotals()
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := man.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "rdbench:", err)
+		os.Exit(1)
 	}
 }
 

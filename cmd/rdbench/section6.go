@@ -35,7 +35,7 @@ func expSwitch() {
 	// periods, on the stochastic cost model.
 	fmt.Println()
 	fmt.Println("paper: tuned MPEG+AC3 system: ~300 switches/s, ~0.7% of CPU")
-	d := core.New(core.Config{Seed: 7})
+	d := newDist(core.Config{Seed: 7})
 	period := ticks.PerSecond / 30
 	mpeg := workload.NewMPEG()
 	ac3 := workload.NewAC3()
@@ -133,7 +133,7 @@ func expPreempt() {
 	fmt.Println("paper: managed preemption costs 'potentially much less' than an")
 	fmt.Println("       involuntary switch; checking the grace flag is nearly free")
 	run := func(controlled bool) (vol, invol int64, exceptions int64) {
-		d := core.New(core.Config{Seed: 5})
+		d := newDist(core.Config{Seed: 5})
 		// A long task that gets preempted by a short task every 10ms.
 		long := &task.Task{
 			Name:                 "long",
@@ -162,7 +162,7 @@ func expPreempt() {
 	runCache := func(controlled bool) ticks.Ticks {
 		costs := sim.PaperSwitchCosts()
 		costs.CacheRefillUS = 200
-		d := core.New(core.Config{Seed: 5, SwitchCosts: &costs})
+		d := newDist(core.Config{Seed: 5, SwitchCosts: &costs})
 		var productive ticks.Ticks
 		long := &task.Task{
 			Name: "long",
@@ -199,7 +199,7 @@ func expFig4() {
 	fmt.Println("paper: producer 7 takes unused time (light) plus its guarantee (dark);")
 	fmt.Println("       data threads busy-wait their grants (the application bug)")
 	rec := recFor(ticks.PerSecond / 3)
-	d := core.New(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
+	d := newDist(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
 	period := ticks.PerSecond / 30
 	_, _ = d.AddSporadicServer("sporadic", task.SingleLevel(2_700_000, 27_000, "SS"), true)
 	yieldAll := func() task.Body {
@@ -234,7 +234,7 @@ func expFig4Fix() {
 	period := ticks.PerSecond / 30
 	run := func(fixed bool) (switches int64, dataCPU ticks.Ticks, misses int) {
 		rec := trace.New()
-		d := core.New(core.Config{Seed: 3, Observer: rec})
+		d := newDist(core.Config{Seed: 3, Observer: rec})
 		_, _ = d.AddSporadicServer("ss", task.SingleLevel(2_700_000, 27_000, "SS"), true)
 
 		// Producer 9 completes 3ms of work each period and, in the
@@ -307,7 +307,7 @@ func expFig5() {
 	fmt.Println("paper: thread 2 allocation steps 9 -> 4 -> 3 -> 2 -> 2 ms as")
 	fmt.Println("       threads are admitted every 20ms; no deadline misses")
 	rec := recFor(ticks.PerSecond)
-	d := core.New(core.Config{
+	d := newDist(core.Config{
 		SwitchCosts:             zeroCosts(),
 		InterruptReservePercent: 4,
 		Observer:                rec,

@@ -43,7 +43,7 @@ func expTable4() {
 	fmt.Println("paper: modem 10%, 3D 52%, MPEG 33% — three simultaneous grants")
 	fmt.Println("measured grant set (invented 1/3 policy; 3D lands on its nearest")
 	fmt.Println("Table 3 entry, 40%, since grants must map to real levels):")
-	d := core.New(core.Config{SwitchCosts: zeroCosts()})
+	d := newDist(core.Config{SwitchCosts: zeroCosts()})
 	modem, _ := d.RequestAdmittance(workload.NewModem().Task(false))
 	g3d, _ := d.RequestAdmittance(workload.NewGraphics3D(1).Task())
 	mpeg, _ := d.RequestAdmittance(workload.NewMPEG().Task())
@@ -93,7 +93,7 @@ func recFor(horizon ticks.Ticks) *trace.Recorder {
 func expFig3() {
 	fmt.Println("paper: EDF schedule preempting the MPEG and 3D tasks; modem never preempted")
 	rec := recFor(200 * ms)
-	d := core.New(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
+	d := newDist(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
 	_, _ = d.RequestAdmittance(workload.NewModem().Task(false))
 	_, _ = d.RequestAdmittance(workload.NewGraphics3D(42).Task())
 	_, _ = d.RequestAdmittance(workload.NewMPEG().Task())

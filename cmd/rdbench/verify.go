@@ -54,7 +54,7 @@ func expVerify() {
 	// 2. Figure 5 staircase: 9/4/3/2/2 ms exactly, zero misses.
 	{
 		rec := trace.New()
-		d := core.New(core.Config{SwitchCosts: zeroCosts(), InterruptReservePercent: 4, Observer: rec})
+		d := newDist(core.Config{SwitchCosts: zeroCosts(), InterruptReservePercent: 4, Observer: rec})
 		_, _ = d.AddSporadicServer("ss", task.SingleLevel(2_700_000, 27_000, "SS"), true)
 		ids := make([]task.ID, 5)
 		for i := 0; i < 5; i++ {
@@ -83,7 +83,7 @@ func expVerify() {
 	// 3. Zero misses on the Table 4 / Figure 3 workload.
 	{
 		rec := trace.New()
-		d := core.New(core.Config{Observer: rec}) // stochastic costs on purpose
+		d := newDist(core.Config{Observer: rec}) // stochastic costs on purpose
 		_, _ = d.RequestAdmittance(workload.NewModem().Task(false))
 		_, _ = d.RequestAdmittance(workload.NewGraphics3D(42).Task())
 		_, _ = d.RequestAdmittance(workload.NewMPEG().Task())
@@ -119,7 +119,7 @@ func expVerify() {
 	{
 		ext := extclock.New(120, 0)
 		pl, _ := extclock.NewPhaseLock(ext, 270_000, 269_500)
-		d := core.New(core.Config{SwitchCosts: zeroCosts()})
+		d := newDist(core.Config{SwitchCosts: zeroCosts()})
 		var id task.ID
 		var maxErr ticks.Ticks
 		periods := 0
@@ -154,7 +154,7 @@ func expVerify() {
 	{
 		misses := func(serviceUs int64) int {
 			rec := trace.New()
-			d := core.New(core.Config{SwitchCosts: zeroCosts(), InterruptReservePercent: 4, Observer: rec})
+			d := newDist(core.Config{SwitchCosts: zeroCosts(), InterruptReservePercent: 4, Observer: rec})
 			for i := 0; i < 4; i++ {
 				_, _ = d.RequestAdmittance(&task.Task{
 					Name: fmt.Sprintf("t%d", i),
@@ -174,7 +174,7 @@ func expVerify() {
 	// 7. Latency bound (§4.2) on the Table 4 workload.
 	{
 		rec := trace.New()
-		d := core.New(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
+		d := newDist(core.Config{SwitchCosts: zeroCosts(), Observer: rec})
 		_, _ = d.RequestAdmittance(workload.NewModem().Task(false))
 		_, _ = d.RequestAdmittance(workload.NewGraphics3D(42).Task())
 		_, _ = d.RequestAdmittance(workload.NewMPEG().Task())

@@ -15,7 +15,8 @@
 // compare prints a delta table against a committed section and flags
 // changes beyond the threshold; it is report-only by default (exit 0
 // regardless) so CI can surface drift without turning benchmark noise
-// into build failures — pass -gate to make regressions fatal.
+// into build failures — pass -gate (alias: -strict) to make
+// regressions beyond the threshold fatal (non-zero exit).
 //
 // The BENCH file format:
 //
@@ -80,7 +81,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rdperf parse   -label NAME -out FILE          < go-test-bench-output
   rdperf merge   -label NAME -out FILE METRICS.json
-  rdperf compare -against FILE [-section NAME] [-threshold PCT] [-gate] < go-test-bench-output`)
+  rdperf compare -against FILE [-section NAME] [-threshold PCT] [-gate|-strict] < go-test-bench-output`)
 	os.Exit(2)
 }
 
@@ -212,7 +213,9 @@ func cmdCompare(args []string) error {
 				return fmt.Errorf("bad -threshold %q", args[i])
 			}
 			threshold = v
-		case "-gate":
+		case "-gate", "-strict":
+			// -strict is the CI-facing alias: exit non-zero on any
+			// regression beyond the threshold (default ±10%).
 			gate = true
 		default:
 			return fmt.Errorf("compare: unknown argument %q", args[i])

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/extclock"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -51,6 +52,8 @@ func main() {
 	cols := flag.Int("cols", 100, "timeline width in characters")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.String("json", "", "write the full trace as JSON to this file ('-' for stdout)")
+	manifestOut := flag.String("manifest", "", "write the rdtel/v1 run manifest as JSON to this file ('-' for stdout)")
+	build := flag.String("build", defaultBuild, "build identifier stamped into the manifest ('' to omit, for byte-comparable output)")
 	flag.Parse()
 
 	if *list {
@@ -72,10 +75,15 @@ func main() {
 
 	rec := trace.New()
 	rec.Reserve(trace.HintForHorizon(ticks.FromDuration(*horizon)))
+	var tel *telemetry.Set
+	if *manifestOut != "" {
+		tel = telemetry.NewSet()
+	}
 	d := core.New(core.Config{
 		Seed:                    *seed,
 		InterruptReservePercent: sc.reserve,
 		Observer:                rec,
+		Telemetry:               tel,
 	})
 	quality := sc.setup(d)
 	d.Run(ticks.FromDuration(*horizon))
@@ -128,7 +136,45 @@ func main() {
 			fmt.Printf("\ntrace written to %s\n", *jsonOut)
 		}
 	}
+
+	if *manifestOut != "" {
+		man := telemetry.NewManifest(*seed)
+		if *build == defaultBuild {
+			man.Build = telemetry.GitDescribe()
+		} else {
+			man.Build = *build
+		}
+		man.ConfigDigest = telemetry.ConfigDigest(struct {
+			Scenario string
+			Horizon  int64
+			Seed     uint64
+		}{sc.name, int64(ticks.FromDuration(*horizon)), *seed})
+		man.HorizonTicks = ticks.FromDuration(*horizon)
+		for _, id := range rec.TaskIDs() {
+			man.Tasks = append(man.Tasks, telemetry.TaskInfo{ID: int64(id), Name: rec.NameOf(id)})
+		}
+		man.Fill(tel)
+		man.DeriveTotals()
+		w := os.Stdout
+		if *manifestOut != "-" {
+			f, err := os.Create(*manifestOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := man.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+		if *manifestOut != "-" {
+			fmt.Printf("manifest written to %s\n", *manifestOut)
+		}
+	}
 }
+
+// defaultBuild is the -build sentinel meaning "ask git describe".
+const defaultBuild = "auto"
 
 func setupSettop(d *core.Distributor) func() {
 	modem := workload.NewModem()

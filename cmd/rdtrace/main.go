@@ -1,31 +1,49 @@
-// Command rdtrace analyses a trace exported by rdsim -json: per-task
-// CPU delivery, preemption counts, worst-case completion latency
-// (checked against the §4.2 bound when grants are known), and the
-// miss audit — without re-running the simulation.
+// Command rdtrace works with the simulator's exported artifacts.
+//
+// Analysis mode (the default) reads a trace exported by rdsim -json:
+// per-task CPU delivery, preemption counts, worst-case completion
+// latency (checked against the §4.2 bound when grants are known), and
+// the miss audit — without re-running the simulation.
 //
 //	rdsim -scenario settop -json trace.json
 //	rdtrace trace.json
+//
+// Export mode converts an rdtel/v1 run manifest (rdsim -manifest) into
+// Chrome trace-event JSON that loads in https://ui.perfetto.dev or
+// chrome://tracing — tasks as named tracks, period/grant windows as
+// async slices, dispatch slices as complete events, distributor
+// decisions as instants:
+//
+//	rdsim -scenario settop -manifest run.json
+//	rdtrace export -perfetto -o trace.pftrace.json run.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 func main() {
+	if len(os.Args) >= 2 && os.Args[1] == "export" {
+		export(os.Args[2:])
+		return
+	}
 	if len(os.Args) != 2 {
 		fmt.Fprintln(os.Stderr, "usage: rdtrace <trace.json | ->")
+		fmt.Fprintln(os.Stderr, "       rdtrace export -perfetto [-validate] [-o out.json] <manifest.json | ->")
 		os.Exit(2)
 	}
 	in := os.Stdin
 	if os.Args[1] != "-" {
 		f, err := os.Open(os.Args[1])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdtrace:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		in = f
@@ -38,4 +56,60 @@ func main() {
 	fmt.Print(trace.Analyze(e).String())
 	fmt.Printf("\nswitches: %d voluntary, %d involuntary, %d ticks total\n",
 		e.Summary.VolSwitches, e.Summary.InvolSwitches, e.Summary.SwitchTicks)
+}
+
+// export converts a run manifest to an external trace format.
+func export(args []string) {
+	fs := flag.NewFlagSet("rdtrace export", flag.ExitOnError)
+	perfetto := fs.Bool("perfetto", false, "emit Chrome trace-event JSON (Perfetto / chrome://tracing)")
+	out := fs.String("o", "-", "output file ('-' for stdout)")
+	validate := fs.Bool("validate", false, "structurally validate the export before writing it")
+	_ = fs.Parse(args)
+	if !*perfetto {
+		fmt.Fprintln(os.Stderr, "rdtrace export: specify a format (-perfetto)")
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rdtrace export -perfetto [-validate] [-o out.json] <manifest.json | ->")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	man, err := telemetry.ReadManifest(in)
+	if err != nil {
+		fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WritePerfetto(&buf, man); err != nil {
+		fatal(err)
+	}
+	if *validate {
+		if err := telemetry.ValidatePerfetto(bytes.NewReader(buf.Bytes())); err != nil {
+			fatal(err)
+		}
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rdtrace:", err)
+	os.Exit(1)
 }

@@ -123,6 +123,7 @@ var DeterministicPackages = []string{
 	"repro/internal/sweep",
 	"repro/internal/fault",
 	"repro/internal/invariant",
+	"repro/internal/telemetry",
 }
 
 // AdmissionPackages lists the packages whose arithmetic decides

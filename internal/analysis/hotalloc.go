@@ -37,7 +37,10 @@ var HotAlloc = &Analyzer{
 		"which must be allocation-free in steady state (docs/PERFORMANCE.md). Closures\n" +
 		"handed to Kernel.At/After allocate per arming — recurring timers use the\n" +
 		"typed AtCall/AfterCall payload. fmt.Sprintf allocates per call — cold panic\n" +
-		"paths may waive it with //rdlint:allow hotalloc <reason>.",
+		"paths may waive it with //rdlint:allow hotalloc <reason>. telemetry.Registry\n" +
+		"methods look instruments up by name — hot paths use the pre-registered\n" +
+		"handles (Counter.Inc, Gauge.Set, Histogram.Observe), which are allocation-\n" +
+		"free and nil-safe.",
 	Run: runHotAlloc,
 }
 
@@ -77,6 +80,11 @@ func runHotAlloc(pass *Pass) error {
 					}
 				}
 			}
+			if isTelemetryRegistryMethod(fn) {
+				pass.Reportf(call.Pos(),
+					"telemetry.Registry.%s looks instruments up by name on a //rd:hotpath file; pre-register at wiring time and keep the handle (Counter.Inc / Histogram.Observe are the hot API)",
+					fn.Name())
+			}
 			return true
 		})
 	}
@@ -94,6 +102,28 @@ func hasHotPathMarker(f *ast.File) bool {
 		}
 	}
 	return false
+}
+
+// isTelemetryRegistryMethod reports whether fn is any method on
+// telemetry.Registry — the by-name (map lookup, possibly allocating)
+// half of the telemetry API. Handles returned at wiring time
+// (Counter.Inc, Gauge.Set, Histogram.Observe) are the hot-path API and
+// stay permitted.
+func isTelemetryRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/telemetry"
 }
 
 // isKernelTimerMethod reports whether fn is sim.Kernel.At or

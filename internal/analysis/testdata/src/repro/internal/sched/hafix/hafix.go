@@ -11,12 +11,17 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
 type ticker struct {
-	k  *sim.Kernel
-	id int32
+	k          *sim.Kernel
+	id         int32
+	reg        *telemetry.Registry
+	dispatches *telemetry.Counter
+	depth      *telemetry.Gauge
+	lateness   *telemetry.Histogram
 }
 
 func (t *ticker) HandleEvent(op, id int32, arg ticks.Ticks) {}
@@ -42,4 +47,21 @@ func (t *ticker) label() string {
 func (t *ticker) wedge() {
 	//rdlint:allow hotalloc panic path: the run is already dead, allocation cost is irrelevant
 	panic(fmt.Sprintf("ticker %d wedged", t.id))
+}
+
+// Registry methods look instruments up by name — cold wiring-time API,
+// flagged on a hot file.
+func (t *ticker) countByName() {
+	t.reg.Counter("sched.dispatch.granted").Inc()            // want "telemetry.Registry.Counter"
+	if _, ok := t.reg.Lookup("sched.dispatch.granted"); ok { // want "telemetry.Registry.Lookup"
+		t.id++
+	}
+}
+
+// Pre-registered handles are the hot-path API: permitted.
+func (t *ticker) countByHandle() {
+	t.dispatches.Inc()
+	t.dispatches.Add(2)
+	t.depth.Set(int64(t.id))
+	t.lateness.Observe(27)
 }

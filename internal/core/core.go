@@ -30,6 +30,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -60,6 +61,13 @@ type Config struct {
 	// Observer receives scheduling events (see internal/trace).
 	Observer sched.Observer
 
+	// Telemetry is the run's instrument registry and span log; every
+	// subsystem (kernel, Resource Manager, Scheduler, Policy Box)
+	// registers its counters there and records decision spans. Nil
+	// disables telemetry at zero cost: the handles stay nil and every
+	// hot-path record is a single nil-receiver no-op.
+	Telemetry *telemetry.Set
+
 	// OverrideWindow, GracePeriod, SporadicSlice tune the §4.2
 	// small-overlap override, the §5.6 grace period, and the §5.1
 	// assignment quantum. Zero selects the defaults.
@@ -73,6 +81,10 @@ type Distributor struct {
 	kernel *sim.Kernel
 	rm     *rm.Manager
 	sched  *sched.Scheduler
+	tel    *telemetry.Set
+
+	governorSamples *telemetry.Counter
+	governorSpans   *telemetry.Spans
 }
 
 // New assembles a Distributor.
@@ -87,7 +99,14 @@ func New(cfg Config) *Distributor {
 		InterruptReservePercent: cfg.InterruptReservePercent,
 		Streamer:                cfg.Streamer,
 	})
-	d := &Distributor{kernel: k, rm: m}
+	d := &Distributor{kernel: k, rm: m, tel: cfg.Telemetry}
+	if t := cfg.Telemetry; t != nil {
+		k.EnableTelemetry(t.Reg())
+		m.EnableTelemetry(t, k.Now)
+		m.Box().EnableTelemetry(t.Reg())
+		d.governorSamples = t.Reg().Counter("core.governor.samples")
+		d.governorSpans = t.SpanLog()
+	}
 	s := sched.New(sched.Config{
 		Kernel:         k,
 		RM:             m,
@@ -96,11 +115,17 @@ func New(cfg Config) *Distributor {
 		GracePeriod:    cfg.GracePeriod,
 		SporadicSlice:  cfg.SporadicSlice,
 		RemoveOnExit:   true,
+		Telemetry:      cfg.Telemetry,
 	})
 	m.SetHooks(s)
 	d.sched = s
 	return d
 }
+
+// Telemetry exposes the run's telemetry set (nil when disabled), so
+// layers wired after assembly — fault injectors, the invariant
+// Checker — can register their own instruments against the same run.
+func (d *Distributor) Telemetry() *telemetry.Set { return d.tel }
 
 // Kernel exposes the simulation kernel (clock, RNG, counters).
 func (d *Distributor) Kernel() *sim.Kernel { return d.kernel }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/resource"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -19,7 +20,7 @@ import (
 // woken mid-run, a phase-locked display issuing InsertIdleCycles, a
 // Sporadic Server and interrupt load — for three simulated seconds and
 // returns the full serialized trace.
-func runStudioTrace(t *testing.T, seed uint64) []byte {
+func runStudioTrace(t *testing.T, seed uint64, tel *telemetry.Set) []byte {
 	t.Helper()
 	const ms = ticks.PerMillisecond
 
@@ -42,6 +43,7 @@ func runStudioTrace(t *testing.T, seed uint64) []byte {
 		PolicyBox:               box,
 		Streamer:                resource.Capacity{StreamerMBps: 400},
 		Observer:                rec,
+		Telemetry:               tel,
 	})
 
 	stream := workload.NewTransportStream(d, 900_000, 6)
@@ -135,15 +137,15 @@ func runStudioTrace(t *testing.T, seed uint64) []byte {
 // map-order leak, wall-clock read or host-dependent float rounding in
 // the simulation shows up here as a diff.
 func TestSameSeedTraceByteIdentical(t *testing.T) {
-	first := runStudioTrace(t, 2026)
-	second := runStudioTrace(t, 2026)
+	first := runStudioTrace(t, 2026, nil)
+	second := runStudioTrace(t, 2026, nil)
 	if !bytes.Equal(first, second) {
 		t.Fatalf("same-seed runs produced different traces: %d vs %d bytes (first divergence at byte %d)",
 			len(first), len(second), firstDiff(first, second))
 	}
 	// A different seed must actually steer the simulation: identical
 	// output would mean the seed (and so the jitter model) is inert.
-	other := runStudioTrace(t, 1999)
+	other := runStudioTrace(t, 1999, nil)
 	if bytes.Equal(first, other) {
 		t.Fatal("different seeds produced byte-identical traces; seed is not reaching the simulation")
 	}

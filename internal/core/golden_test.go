@@ -21,7 +21,7 @@ var goldenStudioTraces = map[uint64]string{
 
 func TestStudioTraceMatchesGolden(t *testing.T) {
 	for seed, want := range goldenStudioTraces {
-		sum := sha256.Sum256(runStudioTrace(t, seed))
+		sum := sha256.Sum256(runStudioTrace(t, seed, nil))
 		if got := hex.EncodeToString(sum[:]); got != want {
 			t.Errorf("seed %d: trace hash %s, want golden %s — the unfaulted trace changed",
 				seed, got, want)

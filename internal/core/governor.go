@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -36,6 +37,7 @@ func (d *Distributor) EnableOverloadGovernor(interval ticks.Ticks) {
 		st := d.kernel.Stats()
 		window, irq := st.Now-lastNow, st.InterruptTicks-lastIRQ
 		lastNow, lastIRQ = st.Now, st.InterruptTicks
+		d.governorSamples.Inc()
 		if window > 0 {
 			load := ticks.Frac{Num: int64(irq), Den: int64(window)}
 			excess := load.Sub(reserve)
@@ -43,6 +45,7 @@ func (d *Distributor) EnableOverloadGovernor(interval ticks.Ticks) {
 				// Round the excess up to a whole percent: never shed
 				// less than the measured overload.
 				pct := (excess.Num*100 + excess.Den - 1) / excess.Den
+				d.governorSpans.Instant(st.Now, "governor", "apply-pressure", telemetry.NoTask, 0, "")
 				d.rm.SetPressure(st.Now, ticks.FracPercent(pct), fmt.Sprintf(
 					"interrupt load %d%% over reserve", pct))
 			} else {

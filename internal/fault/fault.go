@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -55,7 +56,22 @@ type Injector interface {
 func ArmAll(d *core.Distributor, seed uint64, log *metrics.EventLog, injs ...Injector) {
 	for i, inj := range injs {
 		rng := sim.NewRNG(sim.SplitSeed(seed, StreamBase+uint64(i)))
+		if t := d.Telemetry(); t != nil {
+			t.Reg().Counter("fault.armed").Inc()
+		}
 		inj.Arm(d, rng, log)
+	}
+}
+
+// record writes one fault event to the log and mirrors it into the
+// run's telemetry (when the Distributor was assembled with one): the
+// "fault.fired" counter and an instant "fault" decision span. Fault
+// firing is cold path, so the by-name handle lookup is fine here.
+func record(d *core.Distributor, log *metrics.EventLog, at ticks.Ticks, kind, detail string) {
+	log.Record(at, kind, detail)
+	if t := d.Telemetry(); t != nil {
+		t.Reg().Counter("fault.fired").Inc()
+		t.SpanLog().Instant(at, "fault", kind, telemetry.NoTask, 0, detail)
 	}
 }
 
@@ -82,10 +98,10 @@ func (o Overrun) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventLog) {
 			Body: overrunBody(o.CPU, rng),
 		})
 		if err != nil {
-			log.Record(d.Now(), "fault.overrun-rejected", fmt.Sprintf("%s: %v", o.TaskName, err))
+			record(d, log, d.Now(), "fault.overrun-rejected", fmt.Sprintf("%s: %v", o.TaskName, err))
 			return
 		}
-		log.Record(d.Now(), "fault.overrun", fmt.Sprintf("%s admitted as task %d, overruns %v CPU every %v", o.TaskName, id, o.CPU, o.Period))
+		record(d, log, d.Now(), "fault.overrun", fmt.Sprintf("%s admitted as task %d, overruns %v CPU every %v", o.TaskName, id, o.CPU, o.Period))
 	})
 }
 
@@ -135,10 +151,10 @@ func (n NeverQuiesce) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventL
 			ControlledPreemption: true,
 		})
 		if err != nil {
-			log.Record(d.Now(), "fault.never-quiesce-rejected", fmt.Sprintf("%s: %v", n.TaskName, err))
+			record(d, log, d.Now(), "fault.never-quiesce-rejected", fmt.Sprintf("%s: %v", n.TaskName, err))
 			return
 		}
-		log.Record(d.Now(), "fault.never-quiesce", fmt.Sprintf("%s admitted as task %d, will ignore every grace period", n.TaskName, id))
+		record(d, log, d.Now(), "fault.never-quiesce", fmt.Sprintf("%s admitted as task %d, will ignore every grace period", n.TaskName, id))
 	})
 }
 
@@ -185,11 +201,11 @@ func (c CrashRestart) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventL
 			Body: task.PeriodicWork(c.CPU),
 		})
 		if err != nil {
-			log.Record(d.Now(), "fault."+when+"-rejected", fmt.Sprintf("%s: %v", c.TaskName, err))
+			record(d, log, d.Now(), "fault."+when+"-rejected", fmt.Sprintf("%s: %v", c.TaskName, err))
 			id = task.NoID
 			return
 		}
-		log.Record(d.Now(), "fault."+when, fmt.Sprintf("%s admitted as task %d", c.TaskName, id))
+		record(d, log, d.Now(), "fault."+when, fmt.Sprintf("%s admitted as task %d", c.TaskName, id))
 	}
 	at := c.At
 	d.At(at, func() { admit("restart") })
@@ -201,11 +217,11 @@ func (c CrashRestart) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventL
 			}
 			crashed := id
 			if err := d.Terminate(crashed); err != nil {
-				log.Record(d.Now(), "fault.crash-failed", fmt.Sprintf("task %d: %v", crashed, err))
+				record(d, log, d.Now(), "fault.crash-failed", fmt.Sprintf("task %d: %v", crashed, err))
 				return
 			}
 			id = task.NoID
-			log.Record(d.Now(), "fault.crash", fmt.Sprintf("%s (task %d) crashed; grant revoked mid-run", c.TaskName, crashed))
+			record(d, log, d.Now(), "fault.crash", fmt.Sprintf("%s (task %d) crashed; grant revoked mid-run", c.TaskName, crashed))
 		})
 		at += cy.down
 		d.At(at, func() { admit("restart") })
@@ -252,7 +268,7 @@ func (s Storm) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventLog) {
 					*s.Injected += s.Service
 				}
 			}
-			log.Record(at, "fault.storm", fmt.Sprintf("burst of %d handlers x %v ticks", n, s.Service))
+			record(d, log, at, "fault.storm", fmt.Sprintf("burst of %d handlers x %v ticks", n, s.Service))
 		})
 	}
 }
@@ -277,7 +293,7 @@ func (j Jitter) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventLog) {
 	f := sim.NewTimerFault(rng.Uint64(), j.MaxLate, j.Coalesce)
 	d.At(j.At, func() {
 		d.Kernel().SetTimerFault(f)
-		log.Record(d.Now(), "fault.jitter", fmt.Sprintf("timers now up to %v late, coalesced to %v", j.MaxLate, j.Coalesce))
+		record(d, log, d.Now(), "fault.jitter", fmt.Sprintf("timers now up to %v late, coalesced to %v", j.MaxLate, j.Coalesce))
 	})
 }
 
@@ -301,7 +317,7 @@ func (p PolicyCorrupt) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.Event
 		box := d.Box()
 		var before bytes.Buffer
 		if err := box.Save(&before); err != nil {
-			log.Record(d.Now(), "fault.policy-skipped", fmt.Sprintf("live box does not serialize: %v", err))
+			record(d, log, d.Now(), "fault.policy-skipped", fmt.Sprintf("live box does not serialize: %v", err))
 			return
 		}
 		mangled, how := mangle(before.Bytes(), rng)
@@ -310,14 +326,14 @@ func (p PolicyCorrupt) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.Event
 		_ = box.Save(&after)
 		switch {
 		case err != nil && bytes.Equal(before.Bytes(), after.Bytes()):
-			log.Record(d.Now(), "fault.policy", fmt.Sprintf("%s rejected atomically: %v", how, err))
+			record(d, log, d.Now(), "fault.policy", fmt.Sprintf("%s rejected atomically: %v", how, err))
 		case err != nil:
-			log.Record(d.Now(), "fault.policy-mutated", fmt.Sprintf("%s rejected but the box changed: %v", how, err))
+			record(d, log, d.Now(), "fault.policy-mutated", fmt.Sprintf("%s rejected but the box changed: %v", how, err))
 		default:
 			// The mangling happened to leave valid JSON (flipping a byte
 			// inside whitespace, say): the Box accepted a well-formed
 			// file, which is not a fault at all.
-			log.Record(d.Now(), "fault.policy-accepted", how+" still parsed; box reloaded")
+			record(d, log, d.Now(), "fault.policy-accepted", how+" still parsed; box reloaded")
 		}
 	})
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -88,6 +89,11 @@ type Checker struct {
 	sum      ticks.Frac
 
 	periodsClosed int64
+
+	// telViolations counts recorded violations ("invariant.violations");
+	// nil (telemetry off) is a no-op.
+	telViolations *telemetry.Counter
+	telSpans      *telemetry.Spans
 }
 
 var _ sched.Observer = (*Checker)(nil)
@@ -114,6 +120,14 @@ func (c *Checker) Bind(k *sim.Kernel, m *rm.Manager, s *sched.Scheduler) {
 // "invariant.<Kind>". Pass nil to stop mirroring.
 func (c *Checker) LogTo(l *metrics.EventLog) { c.log = l }
 
+// EnableTelemetry counts every recorded violation on
+// "invariant.violations" and mirrors each as an instant decision span.
+// A nil Set leaves the Checker silent.
+func (c *Checker) EnableTelemetry(t *telemetry.Set) {
+	c.telViolations = t.Reg().Counter("invariant.violations")
+	c.telSpans = t.SpanLog()
+}
+
 // Violations returns a copy of everything recorded so far, in
 // detection order.
 func (c *Checker) Violations() []Violation {
@@ -135,6 +149,12 @@ func (c *Checker) report(kind string, id task.ID, at ticks.Ticks, detail string)
 		Detail: detail,
 	}
 	c.violations = append(c.violations, v)
+	c.telViolations.Inc()
+	tid := int64(id)
+	if id == task.NoID {
+		tid = telemetry.NoTask
+	}
+	c.telSpans.Instant(at, "invariant", kind, tid, 0, detail)
 	if c.log != nil {
 		c.log.Record(at, "invariant."+kind, v.String())
 	}

@@ -41,21 +41,36 @@ func (l *EventLog) Merge(o *EventLog) {
 // N reports the number of recorded events.
 func (l *EventLog) N() int { return len(l.events) }
 
-// Events returns a copy of the recorded events, in order.
+// Events returns a copy of the recorded events, in order. Callers
+// that only scan — checkers polling for a kind, exporters walking the
+// log — should use All instead: this copies the whole slice per call.
 func (l *EventLog) Events() []Event {
 	out := make([]Event, len(l.events))
 	copy(out, l.events)
 	return out
 }
 
+// All calls yield for each recorded event in order until yield returns
+// false. It allocates nothing, so it is the right shape for callers
+// that poll the log in a loop. The log must not be appended to from
+// inside yield.
+func (l *EventLog) All(yield func(Event) bool) {
+	for i := range l.events {
+		if !yield(l.events[i]) {
+			return
+		}
+	}
+}
+
 // CountKind reports how many events have exactly the given kind.
 func (l *EventLog) CountKind(kind string) int {
 	n := 0
-	for i := range l.events {
-		if l.events[i].Kind == kind {
+	l.All(func(e Event) bool {
+		if e.Kind == kind {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -63,11 +78,12 @@ func (l *EventLog) CountKind(kind string) int {
 // the given prefix (e.g. "fault." counts all injections).
 func (l *EventLog) KindPrefixCount(prefix string) int {
 	n := 0
-	for i := range l.events {
-		if strings.HasPrefix(l.events[i].Kind, prefix) {
+	l.All(func(e Event) bool {
+		if strings.HasPrefix(e.Kind, prefix) {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 

@@ -155,6 +155,7 @@ func (b *Box) Load(r io.Reader) error {
 		}
 	}
 	*b = *tmp
+	b.tel.reloads.Inc()
 	return nil
 }
 
@@ -168,6 +169,7 @@ func (b *Box) clone() *Box {
 		byName:  make(map[string]MemberID, len(b.byName)),
 		builtin: make(map[string]Policy, len(b.builtin)),
 		user:    make(map[string]Policy, len(b.user)),
+		tel:     b.tel, // instrument handles survive a Load commit
 	}
 	for k, v := range b.byName {
 		c.byName[k] = v

@@ -103,6 +103,8 @@ type Box struct {
 	byName  map[string]MemberID
 	builtin map[string]Policy // designer defaults, keyed by member set
 	user    map[string]Policy // user overrides, consulted first
+
+	tel boxTelemetry
 }
 
 // NewBox returns an empty Policy Box. The member and policy maps are
@@ -214,6 +216,7 @@ func (b *Box) Len() int {
 // of N threads receives 1/Nth of the resources, and an arbitrary
 // thread is given control of exclusive resources").
 func (b *Box) PolicyFor(active []MemberID) Policy {
+	b.tel.consults.Inc()
 	if len(active) == 0 {
 		return Policy{Shares: Ranking{}, Invented: true}
 	}
@@ -233,6 +236,7 @@ func (b *Box) PolicyFor(active []MemberID) Policy {
 // independent (a first principle: policy must not depend on accidents
 // of timing or creation order).
 func (b *Box) Invent(active []MemberID) Policy {
+	b.tel.invents.Inc()
 	n := len(active)
 	shares := make(Ranking, n)
 	each := 100 / n

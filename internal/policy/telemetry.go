@@ -1,0 +1,23 @@
+package policy
+
+import "repro/internal/telemetry"
+
+// boxTelemetry holds the Box's pre-registered counter handles. The
+// zero value (all nil) records nothing — handle methods are no-ops on
+// nil — so consult/invent sites count unconditionally.
+type boxTelemetry struct {
+	consults *telemetry.Counter
+	invents  *telemetry.Counter
+	reloads  *telemetry.Counter
+}
+
+// EnableTelemetry registers the Box's instruments with r: one counter
+// per PolicyFor consultation, one per invented policy, one per
+// successful Load. A nil Registry leaves the Box silent.
+func (b *Box) EnableTelemetry(r *telemetry.Registry) {
+	b.tel = boxTelemetry{
+		consults: r.Counter("policy.box.consults"),
+		invents:  r.Counter("policy.box.invents"),
+		reloads:  r.Counter("policy.box.reloads"),
+	}
+}

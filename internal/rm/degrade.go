@@ -1,6 +1,7 @@
 package rm
 
 import (
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -51,6 +52,8 @@ func (m *Manager) SetPressure(now ticks.Ticks, p ticks.Frac, reason string) {
 	m.generation++
 	m.lastOp = OpStats{Op: "degrade"}
 	m.recomputeGrants()
+	m.tel.sheds.Inc()
+	m.tel.spans.Instant(now, "degrade", reason, telemetry.NoTask, 0, "")
 	m.degradations = append(m.degradations, DegradationEvent{
 		At:              now,
 		Reason:          reason,

@@ -2,6 +2,7 @@ package rm
 
 import (
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -29,6 +30,7 @@ func (m *Manager) LastOp() OpStats { return m.lastOp }
 func (m *Manager) recomputeGrants() {
 	active := m.nonQuiescent()
 	m.lastOp.Threads = len(active)
+	m.tel.recomputes.Inc()
 	old := m.grants
 
 	gs := make(GrantSet, len(active))
@@ -46,6 +48,7 @@ func (m *Manager) recomputeGrants() {
 		m.streamer.Fits(m.maxStreamerSum) &&
 		m.ffuMaxCount <= 1 {
 		m.lastOp.FastPath = true
+		m.tel.fastPath.Inc()
 		for _, a := range active {
 			gs[a.id] = Grant{Task: a.id, Level: 0, Entry: a.list.Max()}
 		}
@@ -62,6 +65,13 @@ func (m *Manager) recomputeGrants() {
 	}
 	pol := m.box.PolicyFor(members)
 	m.lastOp.PolicyInvented = pol.Invented
+	m.tel.consults.Inc()
+	if pol.Invented {
+		m.tel.invents.Inc()
+		m.tel.spans.Instant(m.telNow(), "policy", "consult", telemetry.NoTask, 0, "invented")
+	} else {
+		m.tel.spans.Instant(m.telNow(), "policy", "consult", telemetry.NoTask, 0, "stored")
+	}
 
 	gs = m.correlate(active, pol)
 	m.commit(old, gs)

@@ -112,6 +112,8 @@ type Manager struct {
 	degradations []DegradationEvent
 
 	lastOp OpStats
+
+	tel rmTelemetry
 }
 
 // Config parameterises a Manager.
@@ -193,15 +195,18 @@ func (m *Manager) RequestAdmittance(t *task.Task) (task.ID, error) {
 	newSum := m.minSum.Add(list.MinFrac())
 	m.lastOp.AdmissionChecks = 1
 	if !newSum.LessOrEqual(m.Available()) {
+		m.telAdmission(t.Name, task.NoID, false, "rejected: cpu")
 		return task.NoID, fmt.Errorf("%w: min sum would be %.4f of %.4f schedulable",
 			ErrAdmissionDenied, newSum.Float(), m.Available().Float())
 	}
 	newStreamer := m.minStreamerSum + list.Min().StreamerMBps
 	if !m.streamer.Fits(newStreamer) {
+		m.telAdmission(t.Name, task.NoID, false, "rejected: streamer")
 		return task.NoID, fmt.Errorf("%w: min demands would be %d of %d MB/s",
 			ErrStreamerDenied, newStreamer, m.streamer.StreamerMBps)
 	}
 	if list.MinNeedsFFU() && m.ffuResidents > 0 {
+		m.telAdmission(t.Name, task.NoID, false, "rejected: ffu")
 		return task.NoID, ErrFFUDenied
 	}
 	id := m.nextID
@@ -226,6 +231,7 @@ func (m *Manager) RequestAdmittance(t *task.Task) (task.ID, error) {
 		m.addMaxSums(a.list)
 	}
 	m.recomputeGrants()
+	m.telAdmission(t.Name, id, true, "accepted")
 	return id, nil
 }
 

@@ -3,8 +3,10 @@ package sched
 import (
 	"testing"
 
+	"repro/internal/rm"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // rolloverSystem builds a scheduler with one steady periodic task (3ms
@@ -13,7 +15,16 @@ import (
 // cycle: timer fires, period closes, new period begins, task runs to
 // completion, kernel idles to the next boundary.
 func rolloverSystem(tb testing.TB) (*sim.Kernel, *Scheduler) {
-	k, m, s := newSystem(0, sim.ZeroSwitchCosts())
+	// Counters on: the 0 allocs/op pin below must hold with live
+	// telemetry handles, not just the nil no-op ones (spans stay off —
+	// the span log appends, which amortizes but is not alloc-free).
+	tel := &telemetry.Set{Registry: telemetry.NewRegistry()}
+	k := sim.NewKernel(sim.Config{Seed: 1, Costs: sim.ZeroSwitchCosts()})
+	k.EnableTelemetry(tel.Reg())
+	m := rm.New(rm.Config{})
+	m.EnableTelemetry(tel, k.Now)
+	s := New(Config{Kernel: k, RM: m, Telemetry: tel})
+	m.SetHooks(s)
 	if _, err := m.RequestAdmittance(&task.Task{
 		Name: "worker",
 		List: task.SingleLevel(10*ms, 3*ms, "Work"),

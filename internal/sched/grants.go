@@ -76,6 +76,7 @@ func (s *Scheduler) dropTask(t *tcb) {
 func (s *Scheduler) collectGrants() {
 	gs := s.rmg.CollectGrants()
 	now := s.k.Now()
+	s.tel.grantsCollected.Inc()
 	// Sorted iteration: startTask emits trace events, whose order must
 	// not depend on map iteration order.
 	for _, id := range gs.IDs() {
@@ -160,6 +161,12 @@ func (s *Scheduler) beginPeriod(t *tcb, start ticks.Ticks) {
 	s.setOvertime(t, false)
 	s.enqueue(t, qTimeRemaining)
 	s.obs.OnPeriodStart(t.id, start, t.deadline, t.grant.Level, t.grant.Entry.CPU)
+	s.tel.rollovers.Inc()
+	// The period span is the causal parent of every dispatch span the
+	// period produces. Its window [start, deadline) is known up front,
+	// so it is recorded complete — no open-span bookkeeping to close at
+	// task drop or run end.
+	t.periodSpan = s.tel.spans.Complete(start, t.deadline, "period", t.name, int64(t.id), 0, "")
 }
 
 // rollPeriods processes every period boundary at or before now:
@@ -197,6 +204,7 @@ func (s *Scheduler) rollPeriods(now ticks.Ticks) {
 			if t.queue == qTimeRemaining && t.remaining > 0 {
 				t.stats.Misses++
 				s.obs.OnDeadlineMiss(t.id, t.deadline, t.remaining)
+				s.tel.misses.Inc()
 			}
 			start := t.deadline + t.takeInsertedIdle()
 			s.beginPeriod(t, start)

@@ -38,6 +38,9 @@ func (s *Scheduler) RunUntil(limit ticks.Ticks) {
 		// preemption arithmetic see the true time.
 		now = s.k.Now()
 		s.rollPeriods(now)
+		s.tel.qRemaining.Set(int64(len(s.timeRemaining)))
+		s.tel.qExpired.Set(int64(len(s.timeExpired)))
+		s.tel.qOvertime.Set(int64(len(s.overtimeQ)))
 		cur, kind := s.choose()
 		if cur == nil {
 			s.idleUntilNextInterest(limit)
@@ -126,6 +129,7 @@ func (s *Scheduler) idleUntilNextInterest(limit ticks.Ticks) {
 	s.k.AccountIdle(d)
 	s.idleTicks += d
 	s.obs.OnDispatch(task.NoID, "idle", now, next, DispatchIdle, 0)
+	s.tel.dispatchIdle.Inc()
 	// The CPU went idle: entry to the idle loop is free (no state to
 	// save beyond what the outgoing thread's exit already implied),
 	// and the next real dispatch from idle is charged as a voluntary
@@ -244,6 +248,7 @@ func (s *Scheduler) dispatchSlice(cur *tcb, kind DispatchKind, limit ticks.Ticks
 			s.k.AccountBusy(warm)
 			s.account(cur, kind, warm)
 			s.obs.OnDispatch(cur.id, cur.name, now, now+warm, kind, cur.grant.Level)
+			s.telDispatch(cur, kind, now, now+warm)
 			now += warm
 			span -= warm
 			if span == 0 {
@@ -278,6 +283,10 @@ func (s *Scheduler) dispatchSlice(cur *tcb, kind DispatchKind, limit ticks.Ticks
 	s.account(cur, kind, res.Used)
 	if res.Used > 0 {
 		s.obs.OnDispatch(cur.id, cur.name, now, now+res.Used, kind, cur.grant.Level)
+		s.telDispatch(cur, kind, now, now+res.Used)
+	}
+	if res.Used == span {
+		s.telSliceEnd(reason)
 	}
 
 	timerForced := res.Used == span && (reason == reasonGrantEnd || reason == reasonPreempt)
@@ -477,6 +486,7 @@ func (s *Scheduler) maybeGrace(cur *tcb, reason switchReason) {
 	if graceSpan <= 0 {
 		cur.exception = true
 		cur.stats.Exceptions++
+		s.tel.exceptions.Inc()
 		return
 	}
 	ctx := task.RunContext{
@@ -506,6 +516,7 @@ func (s *Scheduler) maybeGrace(cur *tcb, reason switchReason) {
 		s.k.AccountBusy(res.Used)
 		s.account(cur, DispatchGranted, res.Used)
 		s.obs.OnDispatch(cur.id, cur.name, now, now+res.Used, DispatchGrace, cur.grant.Level)
+		s.telDispatch(cur, DispatchGrace, now, now+res.Used)
 	}
 	switch res.Op {
 	case task.OpYield:
@@ -530,5 +541,6 @@ func (s *Scheduler) maybeGrace(cur *tcb, reason switchReason) {
 		cur.lastExitVoluntary = false
 		cur.exception = true
 		cur.stats.Exceptions++
+		s.tel.exceptions.Inc()
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/rm"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -162,6 +163,11 @@ type tcb struct {
 	ssAssignLeft     ticks.Ticks
 	ssCurrent        *sporadicTask
 
+	// periodSpan is the open telemetry span for the current period,
+	// the parent of this period's dispatch spans. Zero when spans are
+	// disabled.
+	periodSpan telemetry.SpanID
+
 	// Accounting.
 	stats TaskStats
 }
@@ -210,6 +216,12 @@ type Config struct {
 	// Scheduler drops it (and after the RemoveOnExit removal, if
 	// enabled). May be nil.
 	OnExit func(id task.ID)
+
+	// Telemetry, when non-nil, receives the Scheduler's counters,
+	// queue-depth gauges, and decision spans (docs/OBSERVABILITY.md).
+	// Instrument handles are registered here, once; the hot path never
+	// looks anything up by name.
+	Telemetry *telemetry.Set
 }
 
 // Scheduler is the ETI Resource Distributor's EDF scheduler.
@@ -250,6 +262,10 @@ type Scheduler struct {
 
 	// idleStats accounts the implicit Idle thread.
 	idleTicks ticks.Ticks
+
+	// tel holds pre-registered telemetry handles (see wireTelemetry);
+	// the zero value records nothing.
+	tel schedTelemetry
 }
 
 // New builds a Scheduler on the given kernel and Resource Manager.
@@ -275,7 +291,7 @@ func New(cfg Config) *Scheduler {
 	if slice == 0 {
 		slice = ticks.FromMilliseconds(10)
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		k:            cfg.Kernel,
 		rmg:          cfg.RM,
 		obs:          obs,
@@ -286,6 +302,8 @@ func New(cfg Config) *Scheduler {
 		onExit:       cfg.OnExit,
 		tasks:        make(map[task.ID]*tcb),
 	}
+	s.wireTelemetry(cfg.Telemetry)
+	return s
 }
 
 // --- deadline-ordered queue helpers ---

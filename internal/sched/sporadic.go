@@ -148,6 +148,8 @@ func (s *Scheduler) runAssigned(cur *tcb, ctx task.RunContext) task.RunResult {
 	sp.stats.Dispatches++
 	if res.Used > 0 {
 		s.obs.OnDispatch(cur.id, "assigned:"+sp.name, ctx.Now, ctx.Now+res.Used, DispatchSporadic, cur.grant.Level)
+		s.tel.dispatchSporadic.Inc()
+		s.tel.spans.Complete(ctx.Now, ctx.Now+res.Used, "dispatch", sp.name, int64(cur.id), cur.periodSpan, "assigned")
 	}
 
 	switch res.Op {
@@ -273,6 +275,7 @@ func (s *Scheduler) runSporadicServer(cur *tcb, ctx task.RunContext) task.RunRes
 			}
 			cur.ssCurrent = sp
 			cur.ssAssignLeft = s.ssSlice
+			s.tel.sporadicSlices.Inc()
 		}
 		sp := cur.ssCurrent
 		give := spanLeft
@@ -301,6 +304,8 @@ func (s *Scheduler) runSporadicServer(cur *tcb, ctx task.RunContext) task.RunRes
 		}
 		if res.Used > 0 {
 			s.obs.OnDispatch(cur.id, "sporadic:"+sp.name, ctx.Now+used-res.Used, ctx.Now+used, DispatchSporadic, cur.grant.Level)
+			s.tel.dispatchSporadic.Inc()
+			s.tel.spans.Complete(ctx.Now+used-res.Used, ctx.Now+used, "dispatch", sp.name, int64(cur.id), cur.periodSpan, "sporadic")
 		}
 
 		switch res.Op {

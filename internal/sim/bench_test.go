@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -26,6 +27,10 @@ const stepWarmup = 64
 
 func newSteppingKernel() (*Kernel, *rearmHandler) {
 	k := NewKernel(Config{Costs: ZeroSwitchCosts()})
+	// Counters on: the 0 allocs/op pin below must hold with live
+	// telemetry handles, not just the nil no-op ones (spans stay off —
+	// the span log appends, which amortizes but is not alloc-free).
+	k.EnableTelemetry(telemetry.NewRegistry())
 	h := &rearmHandler{k: k}
 	k.AfterCall(1, h, 0, 0, 1)
 	for i := 0; i < stepWarmup; i++ {

@@ -47,6 +47,10 @@ type Kernel struct {
 	busyTicks      ticks.Ticks
 	interruptTicks ticks.Ticks
 	interrupts     int64
+
+	// tel holds pre-registered telemetry handles (see EnableTelemetry);
+	// the zero value records nothing.
+	tel kernelTelemetry
 }
 
 // DefaultSameTickBudget is the same-tick event budget installed when
@@ -247,10 +251,14 @@ func (k *Kernel) ChargeSwitch(kind SwitchKind) ticks.Ticks {
 	c := k.costs.Sample(kind, &k.rng)
 	if kind == Voluntary {
 		k.volSwitches++
+		k.tel.volSwitches.Inc()
 	} else {
 		k.involSwitches++
+		k.tel.involSwitches.Inc()
 	}
 	k.switchTicks += c
+	k.tel.switchTicks.Add(int64(c))
+	k.tel.switchCost.Observe(int64(c))
 	k.AdvanceThrough(c)
 	return c
 }
@@ -285,6 +293,8 @@ func (k *Kernel) RunInterrupt(service ticks.Ticks) {
 	}
 	k.interrupts++
 	k.interruptTicks += service
+	k.tel.interrupts.Inc()
+	k.tel.interruptTicks.Add(int64(service))
 	k.AdvanceThrough(service)
 }
 

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/ticks"
+)
+
+// kernelTelemetry holds the kernel's pre-registered instrument
+// handles. The zero value (all nil handles) records nothing: every
+// telemetry handle method is a no-op on nil, so the hot path
+// increments unconditionally.
+type kernelTelemetry struct {
+	volSwitches    *telemetry.Counter
+	involSwitches  *telemetry.Counter
+	switchTicks    *telemetry.Counter
+	interrupts     *telemetry.Counter
+	interruptTicks *telemetry.Counter
+	switchCost     *telemetry.Histogram
+}
+
+// switchCostBuckets is the geometry of the sim.switch.cost histogram:
+// 5 µs buckets spanning 0–160 µs, wide enough for the paper's 18–72 µs
+// switch-cost range (§6.1) with overflow above.
+const (
+	switchCostBucketWidthUS = 5
+	switchCostBuckets       = 32
+)
+
+// EnableTelemetry pre-registers the kernel's instruments in r. This is
+// the cold half of the telemetry contract: name lookups happen here,
+// once, and the hot path (ChargeSwitch, RunInterrupt) only touches the
+// returned handles. Passing a nil registry yields nil handles and
+// keeps the kernel silent.
+func (k *Kernel) EnableTelemetry(r *telemetry.Registry) {
+	k.tel = kernelTelemetry{
+		volSwitches:    r.Counter("sim.switch.voluntary"),
+		involSwitches:  r.Counter("sim.switch.involuntary"),
+		switchTicks:    r.Counter("sim.switch.ticks"),
+		interrupts:     r.Counter("sim.interrupt.count"),
+		interruptTicks: r.Counter("sim.interrupt.ticks"),
+		switchCost: r.Histogram("sim.switch.cost",
+			int64(switchCostBucketWidthUS*ticks.PerMicrosecond), switchCostBuckets),
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
+	"repro/internal/ticks"
 )
 
 // admission-latency histogram geometry, shared by every cell so
@@ -44,6 +46,18 @@ type Cell struct {
 	Degradations   metrics.Summary // recorded degradation decisions per run
 	AdmissionMS    metrics.Summary // per admitted task, pooled over runs
 	AdmissionHist  *metrics.Histogram
+
+	// Telemetry is the cell's merged instrument snapshot: per-run
+	// registries folded in spec order (counters add, histogram buckets
+	// add, gauge high-water marks take the max), so the result is
+	// worker-count invariant like every other aggregate.
+	Telemetry telemetry.Snapshot
+
+	// firstSeed/firstHorizon identify the cell's earliest contributing
+	// run (in spec order) for the embedded manifest.
+	firstSeed    uint64
+	firstHorizon ticks.Ticks
+	seeded       bool
 }
 
 func newCell(k Key) *Cell {
@@ -52,7 +66,7 @@ func newCell(k Key) *Cell {
 
 // add folds one run into the cell. Failed runs count toward Runs and
 // Errors but contribute no measurements.
-func (c *Cell) add(r RunMetrics) {
+func (c *Cell) add(spec RunSpec, r RunMetrics) {
 	c.Runs++
 	if r.Err != "" {
 		c.Errors++
@@ -61,6 +75,10 @@ func (c *Cell) add(r RunMetrics) {
 		}
 		return
 	}
+	if !c.seeded {
+		c.firstSeed, c.firstHorizon, c.seeded = spec.Seed, spec.Horizon, true
+	}
+	c.Telemetry.Merge(r.Telemetry)
 	c.Denied += r.Denied
 	c.FaultsInjected += r.FaultsInjected
 	c.Misses.Add(float64(r.Misses))
@@ -86,6 +104,10 @@ func (c *Cell) merge(o *Cell) {
 	}
 	c.Denied += o.Denied
 	c.FaultsInjected += o.FaultsInjected
+	if !c.seeded && o.seeded {
+		c.firstSeed, c.firstHorizon, c.seeded = o.firstSeed, o.firstHorizon, true
+	}
+	c.Telemetry.Merge(o.Telemetry)
 	c.Misses.Merge(&o.Misses)
 	c.LossRate.Merge(&o.LossRate)
 	c.Utilization.Merge(&o.Utilization)
@@ -95,6 +117,23 @@ func (c *Cell) merge(o *Cell) {
 	c.Degradations.Merge(&o.Degradations)
 	c.AdmissionMS.Merge(&o.AdmissionMS)
 	c.AdmissionHist.Merge(o.AdmissionHist)
+}
+
+// manifest builds the cell's embedded rdtel/v1 manifest. Seed and
+// horizon come from the cell's first contributing run in spec order;
+// the config digest hashes the cell key; the totals are read straight
+// out of the merged counter snapshot. A cell with no successful runs
+// has no manifest.
+func (c *Cell) manifest() *telemetry.Manifest {
+	if !c.seeded {
+		return nil
+	}
+	m := telemetry.NewManifest(c.firstSeed)
+	m.ConfigDigest = telemetry.ConfigDigest(c.Key)
+	m.HorizonTicks = c.firstHorizon
+	m.Metrics = c.Telemetry
+	m.DeriveTotals()
+	return m
 }
 
 // Result is a sweep's aggregated output: cells in first-appearance
@@ -118,7 +157,7 @@ func (r *Result) cell(k Key) *Cell {
 }
 
 func (r *Result) add(spec RunSpec, m RunMetrics) {
-	r.cell(Key{spec.Scenario, spec.CostModel, spec.Policy}).add(m)
+	r.cell(Key{spec.Scenario, spec.CostModel, spec.Policy}).add(spec, m)
 }
 
 // Merge folds o into r cell by cell, in o's cell order. Merging
@@ -170,7 +209,8 @@ func (r *Result) Table() string {
 
 // JSON schema version tag; bump on incompatible changes.
 // v2 added invariant_violations, degradations and faults_injected.
-const SchemaVersion = "rdsweep/v2"
+// v3 added the per-cell rdtel/v1 telemetry manifest.
+const SchemaVersion = "rdsweep/v3"
 
 type summaryJSON struct {
 	N      int     `json:"n"`
@@ -222,6 +262,10 @@ type cellJSON struct {
 	Degradations   summaryJSON `json:"degradations"`
 	AdmissionMS    summaryJSON `json:"admission_latency_ms"`
 	AdmissionHist  histJSON    `json:"admission_latency_hist"`
+
+	// Manifest is the cell's rdtel/v1 run manifest: the merged
+	// instrument snapshot plus headline totals derived from it.
+	Manifest *telemetry.Manifest `json:"manifest,omitempty"`
 }
 
 type resultJSON struct {
@@ -260,6 +304,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 				N:      c.AdmissionHist.N(),
 				Counts: c.AdmissionHist.Counts,
 			},
+			Manifest: c.manifest(),
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 	"repro/internal/workload"
 )
@@ -171,6 +172,10 @@ type env struct {
 	chk *invariant.Checker
 	// flog collects fault-injection and invariant events for the run.
 	flog metrics.EventLog
+	// tel is the run's telemetry (registry only — spans are per-run
+	// detail the cell aggregates cannot use); runOne snapshots it into
+	// RunMetrics.Telemetry for worker-invariant per-cell merging.
+	tel *telemetry.Set
 
 	// quality, set by the scenario before returning, folds its
 	// workload-specific loss accounting into the run metrics.
@@ -194,9 +199,12 @@ func (e *env) start(cfg core.Config) *core.Distributor {
 	} else {
 		cfg.Observer = e.pr
 	}
+	e.tel = &telemetry.Set{Registry: telemetry.NewRegistry()}
+	cfg.Telemetry = e.tel
 	e.d = core.New(cfg)
 	if e.chk != nil {
 		e.chk.Bind(e.d.Kernel(), e.d.Manager(), e.d.Scheduler())
+		e.chk.EnableTelemetry(e.tel)
 	}
 	return e.d
 }

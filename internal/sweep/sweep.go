@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -61,6 +62,11 @@ type RunMetrics struct {
 	FaultsInjected int64
 
 	AdmissionMS []float64 // admittance→first period, per admitted task, ms
+
+	// Telemetry is the run's frozen instrument registry; cells merge
+	// these in spec order (worker-count invariant, like every other
+	// aggregate here) and embed the merged snapshot in their manifest.
+	Telemetry telemetry.Snapshot
 }
 
 // LossRate reports Loss/Opportunities, or 0 when nothing was at stake.
@@ -275,6 +281,7 @@ func runOne(spec RunSpec) (out RunMetrics) {
 	}
 	out.Degradations = int64(len(e.d.Manager().DegradationEvents()))
 	out.FaultsInjected = int64(e.flog.KindPrefixCount("fault."))
+	out.Telemetry = e.tel.Reg().Snapshot()
 	if e.quality != nil {
 		e.quality(&out)
 	}

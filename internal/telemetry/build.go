@@ -1,0 +1,20 @@
+package telemetry
+
+import (
+	"os/exec"
+	"strings"
+)
+
+// GitDescribe returns a best-effort build identifier (`git describe
+// --always --dirty`) for Manifest.Build, or "" when git or the
+// repository is unavailable. It shells out to the host, so it is
+// CLI-only by convention: the simulation never calls it, and tests
+// pin Build to a fixed value so goldens stay byte-identical across
+// commits.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

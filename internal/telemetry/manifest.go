@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/ticks"
+)
+
+// SchemaVersion identifies the manifest layout. Bump it when a field
+// changes meaning; consumers (rdtrace export, rdperf) refuse schemas
+// they do not know.
+const SchemaVersion = "rdtel/v1"
+
+// TaskInfo names one scheduled task in a manifest, so exporters can
+// label tracks without re-deriving names from span text.
+type TaskInfo struct {
+	ID   int64  `json:"id"`
+	Name string `json:"name"`
+}
+
+// LogEvent is one metrics.EventLog entry, flattened for JSON.
+type LogEvent struct {
+	At     ticks.Ticks `json:"at"`
+	Kind   string      `json:"kind"`
+	Detail string      `json:"detail,omitempty"`
+}
+
+// Totals are the headline health numbers of a run, duplicated out of
+// the counter snapshot so a consumer can triage a manifest without
+// knowing instrument names.
+type Totals struct {
+	DeadlineMisses int64 `json:"deadline_misses"`
+	Violations     int64 `json:"violations"`
+	Degradations   int64 `json:"degradations"`
+	FaultsInjected int64 `json:"faults_injected"`
+}
+
+// Manifest is the self-describing record of one simulation run: what
+// was run (seed, config digest, build), what it counted (the registry
+// snapshot), what it decided (spans), and what happened (event log,
+// totals). rdsim and rdbench write one per invocation; rdsweep embeds
+// one per cell. Same-seed runs must produce byte-identical manifests
+// (Build is the one caller-controlled field, and CLI smoke tests pin
+// it).
+type Manifest struct {
+	Schema       string      `json:"schema"`
+	Build        string      `json:"build,omitempty"`
+	Seed         uint64      `json:"seed"`
+	ConfigDigest string      `json:"config_digest,omitempty"`
+	HorizonTicks ticks.Ticks `json:"horizon_ticks,omitempty"`
+	Tasks        []TaskInfo  `json:"tasks,omitempty"`
+	Metrics      Snapshot    `json:"metrics"`
+	Spans        []Span      `json:"spans,omitempty"`
+	Events       []LogEvent  `json:"events,omitempty"`
+	Totals       Totals      `json:"totals"`
+}
+
+// NewManifest returns a manifest shell with the schema stamped.
+func NewManifest(seed uint64) *Manifest {
+	return &Manifest{Schema: SchemaVersion, Seed: seed}
+}
+
+// Fill captures a Set into the manifest: the registry snapshot and the
+// span log. A nil Set leaves the manifest's metrics empty.
+func (m *Manifest) Fill(t *Set) {
+	m.Metrics = t.Reg().Snapshot()
+	m.Spans = t.SpanLog().Export()
+}
+
+// DeriveTotals fills the headline totals from the metrics snapshot's
+// well-known counters. Call after Fill (or after assigning Metrics).
+func (m *Manifest) DeriveTotals() {
+	m.Totals = Totals{
+		DeadlineMisses: m.Metrics.CounterValue("sched.deadline.misses"),
+		Violations:     m.Metrics.CounterValue("invariant.violations"),
+		Degradations:   m.Metrics.CounterValue("rm.degrade.sheds"),
+		FaultsInjected: m.Metrics.CounterValue("fault.fired"),
+	}
+}
+
+// SetEvents copies an event log into the manifest.
+func (m *Manifest) SetEvents(l *metrics.EventLog) {
+	if l == nil || l.N() == 0 {
+		return
+	}
+	m.Events = make([]LogEvent, 0, l.N())
+	l.All(func(e metrics.Event) bool {
+		m.Events = append(m.Events, LogEvent{At: e.At, Kind: e.Kind, Detail: e.Detail})
+		return true
+	})
+}
+
+// WriteJSON writes the manifest as deterministic, indented JSON with a
+// trailing newline. Field order is fixed by the struct; slices are in
+// record or name-sorted order; nothing consults maps at encode time.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest decodes and validates a manifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("telemetry: manifest: %v", err)
+	}
+	if m.Schema != SchemaVersion {
+		return nil, fmt.Errorf("telemetry: manifest schema %q, want %q", m.Schema, SchemaVersion)
+	}
+	return &m, nil
+}
+
+// ConfigDigest hashes an arbitrary JSON-encodable configuration value
+// into a short stable hex digest, so manifests from the same config
+// correlate without embedding the whole config. Struct-field order
+// makes the encoding deterministic; map-valued configs would not be,
+// so don't digest those.
+func ConfigDigest(v any) string {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return "unencodable"
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:8])
+}

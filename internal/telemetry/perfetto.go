@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ticks"
+)
+
+// Perfetto/chrome://tracing export: a Manifest's spans become Chrome
+// trace-event JSON (the "JSON Array Format" with a traceEvents
+// wrapper). Tasks render as named threads of one process; period/grant
+// windows render as async slices over those tracks; dispatch slices as
+// complete ("X") events; distributor-level decisions (admission,
+// policy, governor, degrade, fault) as instants on a control track;
+// the final counter snapshot as counter ("C") steps at the horizon.
+//
+// Times convert from 27 MHz ticks to the microseconds Chrome expects.
+
+// traceEvent is one Chrome trace-event record. Args is a map, which
+// encoding/json marshals with sorted keys — deterministic.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the top-level JSON document.
+type perfettoFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	perfettoPid  = 1
+	controlTid   = 1  // distributor-level decisions
+	taskTidBase  = 10 // task tracks start here: tid = taskTidBase + task ID
+	instantScope = "t"
+)
+
+func usec(t ticks.Ticks) float64 { return float64(t) / float64(ticks.PerMicrosecond) }
+
+func tidOf(task int64) int64 {
+	if task == NoTask {
+		return controlTid
+	}
+	return taskTidBase + task
+}
+
+// WritePerfetto renders a manifest as Chrome trace-event JSON. Event
+// order is deterministic: metadata (process, then threads by tid),
+// spans in record order, counters by name.
+func WritePerfetto(w io.Writer, m *Manifest) error {
+	events := make([]traceEvent, 0, 2*len(m.Spans)+len(m.Tasks)+len(m.Metrics.Counters)+2)
+
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: perfettoPid, Tid: 0,
+		Args: map[string]any{"name": "resource distributor"},
+	})
+	events = append(events, traceEvent{
+		Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: controlTid,
+		Args: map[string]any{"name": "distributor"},
+	})
+	tasks := append([]TaskInfo(nil), m.Tasks...)
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
+	for _, t := range tasks {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: tidOf(t.ID),
+			Args: map[string]any{"name": fmt.Sprintf("%s (task %d)", t.Name, t.ID)},
+		})
+	}
+
+	for _, sp := range m.Spans {
+		tid := tidOf(sp.Task)
+		args := map[string]any{}
+		if sp.Detail != "" {
+			args["detail"] = sp.Detail
+		}
+		if sp.Parent != 0 {
+			args["parent"] = int64(sp.Parent)
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		switch {
+		case sp.Begin == sp.End:
+			events = append(events, traceEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "i", Ts: usec(sp.Begin),
+				Pid: perfettoPid, Tid: tid, S: instantScope, Args: args,
+			})
+		case sp.Cat == "period":
+			// Grant/period windows overlap their own dispatch slices, so
+			// they render as async slices rather than stacked X events.
+			events = append(events, traceEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "b", Ts: usec(sp.Begin),
+				Pid: perfettoPid, Tid: tid, ID: int64(sp.ID), Args: args,
+			})
+			events = append(events, traceEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "e", Ts: usec(sp.End),
+				Pid: perfettoPid, Tid: tid, ID: int64(sp.ID),
+			})
+		default:
+			events = append(events, traceEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "X", Ts: usec(sp.Begin),
+				Dur: usec(sp.End - sp.Begin), Pid: perfettoPid, Tid: tid, Args: args,
+			})
+		}
+	}
+
+	horizon := usec(m.HorizonTicks)
+	for _, c := range m.Metrics.Counters {
+		events = append(events, traceEvent{
+			Name: c.Name, Ph: "C", Ts: horizon, Pid: perfettoPid, Tid: 0,
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(perfettoFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidatePerfetto decodes Chrome trace-event JSON and checks the
+// structural rules Perfetto relies on: a traceEvents array, a known
+// phase on every event, non-negative times and durations, and matching
+// b/e pairs per (cat, id). telemetry-smoke runs it over the exported
+// artifact.
+func ValidatePerfetto(r io.Reader) error {
+	var f perfettoFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("telemetry: perfetto: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("telemetry: perfetto: no traceEvents")
+	}
+	open := map[string]int{}
+	for i, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M", "X", "i", "C":
+		case "b":
+			open[fmt.Sprintf("%s/%d", e.Cat, e.ID)]++
+		case "e":
+			key := fmt.Sprintf("%s/%d", e.Cat, e.ID)
+			if open[key] == 0 {
+				return fmt.Errorf("telemetry: perfetto: event %d ends async %s with no begin", i, key)
+			}
+			open[key]--
+		default:
+			return fmt.Errorf("telemetry: perfetto: event %d has unknown phase %q", i, e.Ph)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			return fmt.Errorf("telemetry: perfetto: event %d has negative time", i)
+		}
+	}
+	keys := make([]string, 0, len(open))
+	for key := range open {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if open[key] != 0 {
+			return fmt.Errorf("telemetry: perfetto: async %s left open", key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import "repro/internal/ticks"
+
+// SpanID identifies a recorded span inside one Spans log. Zero means
+// "no span" and is what every recording method returns when the log is
+// nil, so parent links thread through disabled telemetry harmlessly.
+type SpanID int32
+
+// NoTask marks a span that belongs to the distributor itself rather
+// than to any scheduled task (admission tests, policy decisions,
+// governor actions).
+const NoTask int64 = -1
+
+// Span is one begin/end decision record. Cat is the span taxonomy
+// bucket (docs/OBSERVABILITY.md): "period", "dispatch", "admission",
+// "policy", "governor", "degrade", "fault". Parent is the span that
+// caused this one (a dispatch's parent is the period rollover that
+// made the task runnable), zero for none. Task is the task the span
+// runs on behalf of, NoTask for distributor-level decisions. A span
+// with End == Begin is an instant.
+type Span struct {
+	ID     SpanID      `json:"id"`
+	Parent SpanID      `json:"parent,omitempty"`
+	Cat    string      `json:"cat"`
+	Name   string      `json:"name"`
+	Task   int64       `json:"task"`
+	Begin  ticks.Ticks `json:"begin"`
+	End    ticks.Ticks `json:"end"`
+	Detail string      `json:"detail,omitempty"`
+}
+
+// Spans is an append-only log of decision spans. The zero value is
+// ready to use; the nil *Spans records nothing and returns SpanID 0
+// from every method. Like the rest of the package it is
+// single-goroutine and virtual-time native.
+type Spans struct {
+	spans []Span
+}
+
+// NewSpans returns an empty span log.
+func NewSpans() *Spans { return &Spans{} }
+
+// Reserve grows the log's capacity ahead of an append-heavy run, the
+// same pay-as-you-go idiom as trace.Recorder.Reserve.
+func (s *Spans) Reserve(n int) {
+	if s == nil || n <= cap(s.spans)-len(s.spans) {
+		return
+	}
+	grown := make([]Span, len(s.spans), len(s.spans)+n)
+	copy(grown, s.spans)
+	s.spans = grown
+}
+
+// Begin opens a span at time at and returns its ID for the matching
+// End (and for child spans' parent links).
+func (s *Spans) Begin(at ticks.Ticks, cat, name string, tsk int64, parent SpanID) SpanID {
+	if s == nil {
+		return 0
+	}
+	id := SpanID(len(s.spans) + 1)
+	s.spans = append(s.spans, Span{
+		ID: id, Parent: parent, Cat: cat, Name: name, Task: tsk, Begin: at, End: at,
+	})
+	return id
+}
+
+// End closes an open span at time at. Zero and stale IDs are no-ops.
+func (s *Spans) End(id SpanID, at ticks.Ticks) {
+	if s == nil || id <= 0 || int(id) > len(s.spans) {
+		return
+	}
+	s.spans[id-1].End = at
+}
+
+// Complete records a span whose begin and end are both already known —
+// the common case for dispatch slices, which are recorded after the
+// fact.
+func (s *Spans) Complete(begin, end ticks.Ticks, cat, name string, tsk int64, parent SpanID, detail string) SpanID {
+	if s == nil {
+		return 0
+	}
+	id := SpanID(len(s.spans) + 1)
+	s.spans = append(s.spans, Span{
+		ID: id, Parent: parent, Cat: cat, Name: name, Task: tsk,
+		Begin: begin, End: end, Detail: detail,
+	})
+	return id
+}
+
+// Instant records a zero-duration decision point.
+func (s *Spans) Instant(at ticks.Ticks, cat, name string, tsk int64, parent SpanID, detail string) SpanID {
+	return s.Complete(at, at, cat, name, tsk, parent, detail)
+}
+
+// N reports the number of recorded spans.
+func (s *Spans) N() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.spans)
+}
+
+// All calls yield for each span in record order until yield returns
+// false.
+func (s *Spans) All(yield func(Span) bool) {
+	if s == nil {
+		return
+	}
+	for i := range s.spans {
+		if !yield(s.spans[i]) {
+			return
+		}
+	}
+}
+
+// Export returns a copy of the span log for manifests.
+func (s *Spans) Export() []Span {
+	if s == nil || len(s.spans) == 0 {
+		return nil
+	}
+	out := make([]Span, len(s.spans))
+	copy(out, s.spans)
+	return out
+}

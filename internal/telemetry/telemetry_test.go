@@ -1,0 +1,402 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- instruments ---
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a.b.c")
+	c2 := r.Counter("a.b.c")
+	if c1 != c2 {
+		t.Error("same name must return the same Counter handle")
+	}
+	g1, g2 := r.Gauge("a.g"), r.Gauge("a.g")
+	if g1 != g2 {
+		t.Error("same name must return the same Gauge handle")
+	}
+	h1 := r.Histogram("a.h", 10, 4)
+	h2 := r.Histogram("a.h", 10, 4)
+	if h1 != h2 {
+		t.Error("same name+geometry must return the same Histogram handle")
+	}
+	if c, ok := r.Lookup("a.b.c"); !ok || c != c1 {
+		t.Error("Lookup must find the registered counter")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Error("Lookup must not invent counters")
+	}
+}
+
+func TestHistogramGeometryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", 10, 4)
+	mustPanic(t, "re-register different width", func() { r.Histogram("h", 20, 4) })
+	mustPanic(t, "re-register different bins", func() { r.Histogram("h", 10, 8) })
+	mustPanic(t, "zero width", func() { r.Histogram("h2", 0, 4) })
+	mustPanic(t, "zero bins", func() { r.Histogram("h3", 10, 0) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every handle method, every Registry method, every Spans method,
+	// and the Set accessors must be no-ops (not crashes) on nil — this
+	// is what makes disabled telemetry free for the instrumented code.
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil Counter must read zero")
+	}
+	g := r.Gauge("x")
+	g.Set(7)
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Error("nil Gauge must read zero")
+	}
+	h := r.Histogram("x", 10, 4)
+	h.Observe(5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil Histogram must read zero")
+	}
+	if _, ok := r.Lookup("x"); ok {
+		t.Error("nil Registry must not find counters")
+	}
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Error("nil Registry must snapshot empty")
+	}
+
+	var sp *Spans
+	if id := sp.Begin(1, "c", "n", NoTask, 0); id != 0 {
+		t.Error("nil Spans.Begin must return SpanID 0")
+	}
+	sp.End(1, 2)
+	sp.Instant(1, "c", "n", NoTask, 0, "")
+	sp.Reserve(100)
+	if sp.N() != 0 || sp.Export() != nil {
+		t.Error("nil Spans must stay empty")
+	}
+	sp.All(func(Span) bool { t.Error("nil Spans must not yield"); return false })
+
+	var set *Set
+	if set.Reg() != nil || set.SpanLog() != nil {
+		t.Error("nil Set accessors must return nil")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 10, 3) // buckets [0,10) [10,20) [20,30) + overflow
+	for _, v := range []int64{0, 9, 10, 25, 30, 1000, -5} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms[0]
+	want := []int64{3, 1, 1, 2} // {0,9,-5}, {10}, {25}, {30,1000}
+	for i, c := range snap.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, c, want[i], snap.Counts)
+		}
+	}
+	if snap.Count != 7 || snap.Sum != 0+9+10+25+30+1000-5 {
+		t.Errorf("count=%d sum=%d", snap.Count, snap.Sum)
+	}
+}
+
+// --- snapshots and merging ---
+
+// registryFor builds a registry with a deterministic set of values
+// scaled by k, standing in for "the telemetry of run k".
+func registryFor(k int64) *Registry {
+	r := NewRegistry()
+	r.Counter("z.last").Add(k)
+	r.Counter("a.first").Add(10 * k)
+	r.Gauge("m.depth").Set(k)
+	h := r.Histogram("m.lat", 5, 4)
+	h.Observe(k)
+	h.Observe(3 * k)
+	return r
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	s := registryFor(1).Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.first" || s.Counters[1].Name != "z.last" {
+		t.Errorf("counters not name-sorted: %+v", s.Counters)
+	}
+}
+
+// TestMergeIsChunkInvariant is the worker-count-invariance property the
+// sweep engine relies on: folding run snapshots one-by-one in order
+// must equal folding chunk subtotals (any chunking) in order.
+func TestMergeIsChunkInvariant(t *testing.T) {
+	runs := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+
+	var oneByOne Snapshot
+	for _, k := range runs {
+		oneByOne.Merge(registryFor(k).Snapshot())
+	}
+
+	for _, chunk := range []int{1, 2, 3, 8} {
+		var chunked Snapshot
+		for lo := 0; lo < len(runs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			var sub Snapshot
+			for _, k := range runs[lo:hi] {
+				sub.Merge(registryFor(k).Snapshot())
+			}
+			chunked.Merge(sub)
+		}
+		assertSnapshotsEqual(t, oneByOne, chunked, chunk)
+	}
+
+	// Spot-check the fold semantics themselves.
+	if v := oneByOne.CounterValue("a.first"); v != 310 {
+		t.Errorf("a.first = %d, want 310", v)
+	}
+	if g := oneByOne.Gauges[0]; g.Value != 6 || g.Max != 9 {
+		t.Errorf("gauge = %+v, want last-wins value 6, max 9", g)
+	}
+	if h := oneByOne.Histograms[0]; h.Count != 16 {
+		t.Errorf("histogram count = %d, want 16", h.Count)
+	}
+}
+
+func assertSnapshotsEqual(t *testing.T, a, b Snapshot, chunk int) {
+	t.Helper()
+	if len(a.Counters) != len(b.Counters) || len(a.Gauges) != len(b.Gauges) || len(a.Histograms) != len(b.Histograms) {
+		t.Fatalf("chunk=%d: shape differs", chunk)
+	}
+	for i := range a.Counters {
+		if a.Counters[i] != b.Counters[i] {
+			t.Errorf("chunk=%d: counter %d: %+v vs %+v", chunk, i, a.Counters[i], b.Counters[i])
+		}
+	}
+	for i := range a.Gauges {
+		if a.Gauges[i] != b.Gauges[i] {
+			t.Errorf("chunk=%d: gauge %d: %+v vs %+v", chunk, i, a.Gauges[i], b.Gauges[i])
+		}
+	}
+	for i := range a.Histograms {
+		x, y := a.Histograms[i], b.Histograms[i]
+		if x.Name != y.Name || x.Width != y.Width || x.Sum != y.Sum || x.Count != y.Count {
+			t.Errorf("chunk=%d: histogram %d: %+v vs %+v", chunk, i, x, y)
+		}
+		for j := range x.Counts {
+			if x.Counts[j] != y.Counts[j] {
+				t.Errorf("chunk=%d: histogram %d bucket %d differs", chunk, i, j)
+			}
+		}
+	}
+}
+
+func TestMergeUnionsDisjointNames(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Counter("only.a").Inc()
+	rb.Counter("only.b").Add(2)
+	s := ra.Snapshot()
+	s.Merge(rb.Snapshot())
+	if s.CounterValue("only.a") != 1 || s.CounterValue("only.b") != 2 {
+		t.Errorf("disjoint merge lost a counter: %+v", s.Counters)
+	}
+	if len(s.Counters) != 2 || s.Counters[0].Name != "only.a" {
+		t.Errorf("merged counters not sorted: %+v", s.Counters)
+	}
+}
+
+func TestMergeGeometryMismatchPanics(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("h", 10, 4)
+	rb.Histogram("h", 20, 4)
+	s := ra.Snapshot()
+	mustPanic(t, "merge mismatched histogram geometry", func() { s.Merge(rb.Snapshot()) })
+}
+
+// --- spans ---
+
+func TestSpans(t *testing.T) {
+	sp := NewSpans()
+	period := sp.Begin(100, "period", "worker", 1, 0)
+	if period != 1 {
+		t.Fatalf("first span ID = %d, want 1", period)
+	}
+	dispatch := sp.Complete(110, 150, "dispatch", "worker", 1, period, "granted")
+	sp.Instant(120, "admission", "late", NoTask, 0, "rejected: cpu")
+	sp.End(period, 200)
+
+	if sp.N() != 3 {
+		t.Fatalf("N = %d, want 3", sp.N())
+	}
+	out := sp.Export()
+	if out[0].Begin != 100 || out[0].End != 200 {
+		t.Errorf("period span not closed by End: %+v", out[0])
+	}
+	if out[1].Parent != period || out[1].ID != dispatch {
+		t.Errorf("dispatch parent link broken: %+v", out[1])
+	}
+	if out[2].Begin != out[2].End || out[2].Task != NoTask {
+		t.Errorf("instant span malformed: %+v", out[2])
+	}
+
+	// Stale/zero End IDs are no-ops, not panics.
+	sp.End(0, 999)
+	sp.End(99, 999)
+
+	n := 0
+	sp.All(func(Span) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("All must stop when yield returns false; visited %d", n)
+	}
+
+	// Export copies: mutating the copy must not corrupt the log.
+	out[0].Name = "mutated"
+	if sp.Export()[0].Name != "worker" {
+		t.Error("Export must return a copy")
+	}
+}
+
+// --- manifest ---
+
+func sampleManifest() *Manifest {
+	set := NewSet()
+	set.Registry.Counter("sched.deadline.misses").Add(2)
+	set.Registry.Counter("invariant.violations").Add(1)
+	set.Registry.Counter("rm.degrade.sheds").Add(3)
+	set.Registry.Counter("fault.fired").Add(4)
+	set.Registry.Gauge("sched.queue.time_remaining").Set(5)
+	set.Registry.Histogram("sim.switch.cost", 5, 2).Observe(7)
+	set.Spans.Begin(0, "period", "worker", 1, 0)
+	set.Spans.End(1, 270_000)
+	set.Spans.Complete(27, 54, "dispatch", "worker", 1, 1, "granted")
+	set.Spans.Instant(100, "admission", "worker", NoTask, 0, "accepted")
+
+	m := NewManifest(42)
+	m.Build = "test-build"
+	m.ConfigDigest = ConfigDigest(struct{ Name string }{"sample"})
+	m.HorizonTicks = 270_000
+	m.Tasks = []TaskInfo{{ID: 1, Name: "worker"}}
+	m.Fill(set)
+	m.DeriveTotals()
+	return m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	var buf strings.Builder
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 || got.Build != "test-build" || got.HorizonTicks != 270_000 {
+		t.Errorf("header fields lost: %+v", got)
+	}
+	if got.Totals != (Totals{DeadlineMisses: 2, Violations: 1, Degradations: 3, FaultsInjected: 4}) {
+		t.Errorf("totals = %+v", got.Totals)
+	}
+	if len(got.Spans) != 3 || got.Spans[1].Parent != 1 {
+		t.Errorf("spans lost in round trip: %+v", got.Spans)
+	}
+	if got.Metrics.CounterValue("fault.fired") != 4 {
+		t.Error("metrics snapshot lost in round trip")
+	}
+
+	// Same manifest must serialize byte-identically.
+	var again strings.Builder
+	if err := m.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != again.String() {
+		t.Error("WriteJSON is not deterministic")
+	}
+}
+
+func TestReadManifestRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadManifest(strings.NewReader(`{"schema":"rdtel/v999"}`)); err == nil {
+		t.Error("unknown schema must be rejected")
+	}
+	if _, err := ReadManifest(strings.NewReader(`not json`)); err == nil {
+		t.Error("invalid JSON must be rejected")
+	}
+}
+
+func TestConfigDigestStable(t *testing.T) {
+	type cfg struct {
+		Scenario string
+		Seed     uint64
+	}
+	a := ConfigDigest(cfg{"settop", 1})
+	b := ConfigDigest(cfg{"settop", 1})
+	c := ConfigDigest(cfg{"settop", 2})
+	if a != b {
+		t.Error("same config must digest identically")
+	}
+	if a == c {
+		t.Error("different configs must digest differently")
+	}
+	if len(a) != 16 {
+		t.Errorf("digest %q: want 16 hex chars (8 bytes)", a)
+	}
+}
+
+// --- perfetto ---
+
+func TestWritePerfettoDeterministicAndValid(t *testing.T) {
+	m := sampleManifest()
+	var one, two strings.Builder
+	if err := WritePerfetto(&one, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&two, m); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("WritePerfetto is not deterministic")
+	}
+	if err := ValidatePerfetto(strings.NewReader(one.String())); err != nil {
+		t.Errorf("exported trace fails validation: %v", err)
+	}
+
+	// Structural spot checks: the period span renders as a b/e async
+	// pair, the dispatch as X, the admission as an instant, and the
+	// task thread is named.
+	out := one.String()
+	for _, want := range []string{
+		`"ph": "b"`, `"ph": "e"`, `"ph": "X"`, `"ph": "i"`, `"ph": "C"`,
+		`"worker (task 1)"`, `"ph": "M"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("perfetto output missing %s", want)
+		}
+	}
+}
+
+func TestValidatePerfettoRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":        `{"traceEvents":[]}`,
+		"unknownPhase": `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]}`,
+		"negativeTime": `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1}]}`,
+		"endNoBegin":   `{"traceEvents":[{"name":"x","cat":"period","ph":"e","ts":0,"pid":1,"tid":1,"id":1}]}`,
+		"beginNoEnd":   `{"traceEvents":[{"name":"x","cat":"period","ph":"b","ts":0,"pid":1,"tid":1,"id":1}]}`,
+	}
+	for name, doc := range cases {
+		if err := ValidatePerfetto(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
