@@ -1,5 +1,6 @@
-// Command rdlint runs the determinism and unit-safety analyzers in
-// internal/analysis over this module. It supports two modes:
+// Command rdlint runs the determinism, unit-safety, dataflow and
+// concurrency analyzers in internal/analysis over this module
+// (catalogued in docs/LINTING.md). It supports two modes:
 //
 // Standalone, for day-to-day use and CI:
 //
@@ -16,7 +17,8 @@
 // In both modes findings print as file:line:col: analyzer: message and
 // a non-zero exit (2, matching go vet) reports that findings exist.
 // Sites are waived inline with //rdlint:ordered-ok <reason> or
-// //rdlint:allow <analyzer> <reason>; see docs/DETERMINISM.md.
+// //rdlint:allow <analyzer> <reason>; the standalone mode also audits
+// every directive and fails on stale ones. See docs/LINTING.md.
 package main
 
 import (
@@ -111,24 +113,38 @@ func standalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "rdlint:", err)
 		return 1
 	}
-	found := false
-	for _, path := range paths {
-		pkg, err := l.Load(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdlint:", err)
-			return 1
-		}
-		diags, err := analysis.Run(l.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, analysis.Analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdlint:", err)
-			return 1
-		}
-		for _, d := range diags {
-			found = true
-			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
-		}
+	requested := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		requested[p] = true
 	}
-	if found {
+	// The fleet run covers the dependency closure so cross-package
+	// facts (detflow summaries, rngstream stream tables) exist before
+	// their importers are analyzed; only the requested packages
+	// report. The stale-waiver audit and the fleet-wide Finish hooks
+	// run here — this invocation is the `make lint` gate.
+	pkgs, err := l.DependencyOrder(paths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlint:", err)
+		return 1
+	}
+	units := make([]*analysis.Unit, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		units = append(units, &analysis.Unit{
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    requested[pkg.Path],
+		})
+	}
+	diags, err := analysis.RunUnits(l.Fset, units, analysis.Analyzers, analysis.RunOptions{Audit: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", l.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
 		return 2
 	}
 	return 0
@@ -167,16 +183,30 @@ func unitcheck(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "rdlint: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// rdlint keeps no cross-package facts, but cmd/go requires the
-	// .vetx output to exist before it will trust the run.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "rdlint:", err)
+	// Facts flow between vet invocations through cmd/go's .vetx
+	// files: dependencies' facts are decoded into the store before
+	// the pass, and the store (which then transitively includes them)
+	// is re-encoded as this package's vetx afterwards. Even a
+	// VetxOnly invocation must therefore run the analyzers — the
+	// facts are the output.
+	store := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		blob, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // a dependency outside the fact flow (stdlib)
+		}
+		if err := store.DecodeFacts(blob, analysis.Analyzers); err != nil {
+			fmt.Fprintf(os.Stderr, "rdlint: facts from %s: %v\n", vetx, err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
-		return 0
+
+	// cmd/go requires the .vetx output to exist before it trusts the
+	// run, even on tolerated-failure paths that produce no facts.
+	emptyVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -185,6 +215,7 @@ func unitcheck(cfgFile string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				emptyVetx()
 				return 0
 			}
 			fmt.Fprintln(os.Stderr, "rdlint:", err)
@@ -224,16 +255,36 @@ func unitcheck(cfgFile string) int {
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			emptyVetx()
 			return 0
 		}
 		fmt.Fprintln(os.Stderr, "rdlint:", err)
 		return 1
 	}
 
-	diags, err := analysis.Run(fset, files, pkg, info, analysis.Analyzers)
+	unit := &analysis.Unit{Files: files, Pkg: pkg, TypesInfo: info, Report: !cfg.VetxOnly}
+	// Per-package vet invocations skip the fleet Finish hooks and the
+	// stale-waiver audit: both need the whole-module view only the
+	// standalone form (`make lint`) has. See docs/LINTING.md.
+	diags, err := analysis.RunUnits(fset, []*analysis.Unit{unit}, analysis.Analyzers,
+		analysis.RunOptions{Store: store, NoFinish: true})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rdlint:", err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		blob, err := store.EncodeFacts()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdlint:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "rdlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)

@@ -16,7 +16,10 @@
 // changes beyond the threshold; it is report-only by default (exit 0
 // regardless) so CI can surface drift without turning benchmark noise
 // into build failures — pass -gate (alias: -strict) to make
-// regressions beyond the threshold fatal (non-zero exit).
+// regressions beyond the threshold fatal (non-zero exit), and
+// -gate-units to restrict which units count toward that gate (CI
+// gates on the machine-independent allocs/op and B/op; timing units
+// are judged and printed but tagged report-only).
 //
 // The BENCH file format:
 //
@@ -81,7 +84,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   rdperf parse   -label NAME -out FILE          < go-test-bench-output
   rdperf merge   -label NAME -out FILE METRICS.json
-  rdperf compare -against FILE [-section NAME] [-threshold PCT] [-gate|-strict] < go-test-bench-output`)
+  rdperf compare -against FILE [-section NAME] [-threshold PCT] [-gate|-strict] [-gate-units U1,U2] < go-test-bench-output`)
 	os.Exit(2)
 }
 
@@ -189,8 +192,24 @@ func updateSection(path, label string, sec section) error {
 func cmdCompare(args []string) error {
 	against, sectionName, threshold := "", "current", 10.0
 	gate := false
+	var gateUnits map[string]bool
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
+		case "-gate-units":
+			// Restrict which units count toward the gate: timings on
+			// shared CI runners are too noisy to block merges, but
+			// allocs/op and B/op are machine-independent and gate
+			// reliably. Units outside the set are still reported.
+			i++
+			if i == len(args) {
+				return fmt.Errorf("-gate-units needs a comma-separated list")
+			}
+			gateUnits = map[string]bool{}
+			for _, u := range strings.Split(args[i], ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					gateUnits[u] = true
+				}
+			}
 		case "-against":
 			i++
 			if i == len(args) {
@@ -244,7 +263,7 @@ func cmdCompare(args []string) error {
 		return fmt.Errorf("compare: no Benchmark lines on stdin")
 	}
 
-	regressions := report(os.Stdout, base, fresh, threshold)
+	regressions := report(os.Stdout, base, fresh, threshold, gateUnits)
 	if gate && regressions > 0 {
 		return fmt.Errorf("%d regression(s) beyond %.0f%%", regressions, threshold)
 	}
@@ -263,8 +282,10 @@ func lowerIsBetter(unit string) bool {
 // beyond the threshold. Units where both sides are zero (the pinned
 // 0 allocs/op rows) count as unchanged; a zero baseline with a
 // non-zero fresh value is an automatic regression for
-// lower-is-better units.
-func report(w io.Writer, base section, fresh section, threshold float64) int {
+// lower-is-better units. A non-nil gateUnits set restricts which
+// units count toward the returned total: the rest are still judged
+// and printed, tagged "(report-only)".
+func report(w io.Writer, base section, fresh section, threshold float64, gateUnits map[string]bool) int {
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
 		if _, ok := base[name]; ok {
@@ -296,7 +317,11 @@ func report(w io.Writer, base section, fresh section, threshold float64) int {
 			old, now := base[name][u], fresh[name][u]
 			verdict, delta := judge(old, now, u, threshold)
 			if verdict == "REGRESSION" {
-				regressions++
+				if gateUnits == nil || gateUnits[u] {
+					regressions++
+				} else {
+					verdict = "REGRESSION (report-only)"
+				}
 			}
 			fmt.Fprintf(w, "%-52s %-12s %14.6g %14.6g %9s %s\n", name, u, old, now, delta, verdict)
 		}

@@ -38,6 +38,18 @@ type Analyzer struct {
 
 	// Run applies the analyzer to a package.
 	Run func(*Pass) error
+
+	// FactTypes lists prototype pointers of every Fact type the
+	// analyzer exports, so the vetx codec can decode them when facts
+	// cross process boundaries (go vet -vettool mode).
+	FactTypes []Fact
+
+	// Finish, when non-nil, runs once after every package of a fleet
+	// run has been analyzed, with the full fact store — the hook for
+	// whole-program aggregation such as rngstream's stream-ID
+	// collision check. It is invoked by RunUnits (standalone rdlint,
+	// atest), not by the per-package vettool mode.
+	Finish func(*FleetPass) error
 }
 
 // Pass provides one analyzer's view of one package.
@@ -51,9 +63,15 @@ type Pass struct {
 	// report receives diagnostics after waiver filtering.
 	report func(Diagnostic)
 
-	// waivers holds the parsed //rdlint: directives of this package,
-	// built lazily on first Report.
+	// waivers holds the parsed //rdlint: directives of this package.
+	// The driver shares one set across the analyzers of a package so
+	// suppression hits can be audited; the lazy fallback covers
+	// direct single-analyzer Run calls.
 	waivers *waiverSet
+
+	// store receives exported facts and serves imports; nil means
+	// facts are silently dropped (single-package compatibility mode).
+	store *FactStore
 }
 
 // Diagnostic is one finding.
@@ -96,6 +114,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // simulation trajectories.
 func (p *Pass) IsTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// SkipFile reports whether the analyzers should skip f entirely:
+// _test.go files (order/clock freedoms there cannot perturb recorded
+// trajectories) and generated files (their upstream generator, not the
+// checked-in artifact, is where a finding would have to be fixed; the
+// generator's inputs are linted instead).
+func (p *Pass) SkipFile(f *ast.File) bool {
+	return p.IsTestFile(f.Pos()) || IsGenerated(f)
+}
+
+// IsGenerated reports whether f carries the standard Go generated-code
+// marker: a "// Code generated ... DO NOT EDIT." comment line before
+// the package clause.
+func IsGenerated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated ") && strings.HasSuffix(c.Text, " DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // ExprString renders an expression as compact source text, for
@@ -181,6 +225,12 @@ type waiverKey struct {
 type waiverSet struct {
 	// reasons maps a directive site to its reason text ("" = missing).
 	reasons map[waiverKey]string
+	// pos maps a directive site to the directive comment's position,
+	// for the staleness audit's diagnostics.
+	pos map[waiverKey]token.Pos
+	// hits records directives that suppressed at least one diagnostic
+	// this run; the rest are stale and reported by the waiver audit.
+	hits map[waiverKey]bool
 }
 
 // directiveVerb returns the waiver verb suggested for an analyzer in
@@ -193,7 +243,11 @@ func directiveVerb(analyzer string) string {
 }
 
 func parseWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
-	ws := &waiverSet{reasons: make(map[waiverKey]string)}
+	ws := &waiverSet{
+		reasons: make(map[waiverKey]string),
+		pos:     make(map[waiverKey]token.Pos),
+		hits:    make(map[waiverKey]bool),
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -218,6 +272,7 @@ func parseWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
 				}
 				k := waiverKey{analyzer: analyzer, file: pos.Filename, line: pos.Line}
 				ws.reasons[k] = strings.TrimSpace(reason)
+				ws.pos[k] = c.Pos()
 			}
 		}
 	}
@@ -226,7 +281,9 @@ func parseWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
 
 func (ws *waiverSet) status(analyzer string, pos token.Position) waiverStatus {
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if reason, ok := ws.reasons[waiverKey{analyzer: analyzer, file: pos.Filename, line: line}]; ok {
+		k := waiverKey{analyzer: analyzer, file: pos.Filename, line: line}
+		if reason, ok := ws.reasons[k]; ok {
+			ws.hits[k] = true
 			if reason == "" {
 				return waivedNoReason
 			}
@@ -238,25 +295,153 @@ func (ws *waiverSet) status(analyzer string, pos token.Position) waiverStatus {
 
 // --- driver ---
 
-// Run applies the analyzers to one typechecked package and returns
-// the surviving diagnostics sorted by position.
-func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// WaiverAuditName is the pseudo-analyzer under which the driver
+// reports stale or malformed //rdlint: directives. It is not an
+// Analyzer in the list: the audit is a property of a whole run (a
+// directive is stale only if nothing fired against it), so the driver
+// performs it after the last pass.
+const WaiverAuditName = "waiveraudit"
+
+// Unit is one typechecked package queued for a fleet run.
+type Unit struct {
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report controls whether this unit's diagnostics are returned.
+	// Dependency packages loaded only so their facts exist run with
+	// Report false: their findings belong to a run that names them.
+	Report bool
+}
+
+// RunOptions configures a fleet run.
+type RunOptions struct {
+	// Store carries facts across packages (and, in vettool mode, in
+	// from .vetx files). Nil means a fresh private store.
+	Store *FactStore
+
+	// Audit enables the stale-waiver audit over the reported units.
+	// Only meaningful when the full analyzer suite runs: a directive
+	// is judged stale because no analyzer fired against it.
+	Audit bool
+
+	// NoFinish suppresses the fleet-wide Finish hooks. The vettool
+	// mode sets it: a single-package view has no fleet to aggregate.
+	NoFinish bool
+}
+
+// RunUnits applies the analyzers to the units in order (callers
+// provide dependency order so facts exist before their importers
+// need them), runs the fleet-wide Finish hooks, optionally audits
+// waivers, and returns the surviving diagnostics sorted by position.
+func RunUnits(fset *token.FileSet, units []*Unit, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
+	store := opts.Store
+	if store == nil {
+		store = NewFactStore()
+	}
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			report:    func(d Diagnostic) { diags = append(diags, d) },
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+	waivers := make([]*waiverSet, len(units))
+	for i, u := range units {
+		ws := parseWaivers(fset, u.Files)
+		waivers[i] = ws
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.TypesInfo,
+				waivers:   ws,
+				store:     store,
+			}
+			if u.Report {
+				pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			} else {
+				pass.report = func(Diagnostic) {}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
 		}
 	}
+
+	if !opts.NoFinish {
+		for _, a := range analyzers {
+			if a.Finish == nil {
+				continue
+			}
+			fp := &FleetPass{
+				Analyzer: a,
+				Fset:     fset,
+				store:    store,
+				report: func(d Diagnostic) {
+					// Fleet findings honor the same inline waivers as
+					// per-package ones; the directive lives in whichever
+					// package owns the reported position.
+					position := fset.Position(d.Pos)
+					for _, ws := range waivers {
+						switch ws.status(a.Name, position) {
+						case waived:
+							return
+						case waivedNoReason:
+							diags = append(diags, Diagnostic{
+								Pos:      d.Pos,
+								Analyzer: a.Name,
+								Message:  "rdlint waiver is missing a reason; write //rdlint:" + directiveVerb(a.Name) + " <why this site is safe>",
+							})
+							return
+						}
+					}
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Finish(fp); err != nil {
+				return nil, fmt.Errorf("%s (finish): %w", a.Name, err)
+			}
+		}
+	}
+
+	if opts.Audit {
+		known := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+		for i, u := range units {
+			if !u.Report {
+				continue
+			}
+			for k := range waivers[i].reasons {
+				if waivers[i].hits[k] {
+					continue
+				}
+				pos := waivers[i].pos[k]
+				if !known[k.analyzer] {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: WaiverAuditName,
+						Message:  fmt.Sprintf("waiver names unknown analyzer %q; rdlint analyzers are listed in docs/LINTING.md", k.analyzer),
+					})
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: WaiverAuditName,
+					Message:  fmt.Sprintf("stale waiver: %s no longer fires at this site; delete the //rdlint:%s directive", k.analyzer, directiveVerb(k.analyzer)),
+				})
+			}
+		}
+	}
+
 	sortDiagnostics(fset, diags)
 	return diags, nil
+}
+
+// Run applies the analyzers to one typechecked package with a private
+// fact store and no fleet hooks — the single-package compatibility
+// form used by the vettool protocol's per-package invocations.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	unit := &Unit{Files: files, Pkg: pkg, TypesInfo: info, Report: true}
+	return RunUnits(fset, []*Unit{unit}, analyzers, RunOptions{NoFinish: true})
 }
 
 func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {

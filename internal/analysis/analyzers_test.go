@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atest"
+	"repro/internal/fault"
 )
 
 // The fixture packages live under testdata/src with real-looking
@@ -42,6 +43,81 @@ func TestHotAlloc(t *testing.T) {
 	// identical constructs pass — the check is a per-file opt-in.
 	atest.Run(t, "testdata", analysis.HotAlloc,
 		"repro/internal/sched/hafix",
+	)
+}
+
+func TestRngStream(t *testing.T) {
+	// rsfix: bare literals, dynamic IDs, band violations, and an
+	// intra-package collision. rscross: a collision with a constant in
+	// a package it imports — the cross-package case. rsfree: named
+	// constants, constant reuse, and the injector-band shape, all
+	// clean.
+	atest.Run(t, "testdata", analysis.RngStream,
+		"repro/internal/sweep/rsfix",
+		"repro/internal/sweep/rscross",
+		"repro/internal/sweep/rsfree",
+	)
+}
+
+// TestFaultStreamBaseMirror pins the analyzer's mirrored band base to
+// the live constant: if fault.StreamBase moves, rngstream must move
+// with it.
+func TestFaultStreamBaseMirror(t *testing.T) {
+	if analysis.FaultStreamBase != fault.StreamBase {
+		t.Fatalf("analysis.FaultStreamBase = %d, fault.StreamBase = %d; keep the mirror in sync",
+			analysis.FaultStreamBase, fault.StreamBase)
+	}
+}
+
+func TestDetFlow(t *testing.T) {
+	// dffix: taint imported through hostinfo's facts, a local second
+	// hop, a func value, and a direct host-state read — all reported.
+	// dffree: GOMAXPROCS worker counts and parameter-fed sinks, clean.
+	// hostinfo itself (outside the deterministic set) exports facts
+	// but reports nothing.
+	atest.Run(t, "testdata", analysis.DetFlow,
+		"repro/internal/sched/dffix",
+		"repro/internal/sched/dffree",
+		"repro/internal/hostinfo",
+	)
+}
+
+func TestSpanPair(t *testing.T) {
+	atest.Run(t, "testdata", analysis.SpanPair,
+		"repro/internal/telemetry/spfix",
+		"repro/internal/telemetry/spfree",
+	)
+}
+
+func TestSharedCapture(t *testing.T) {
+	atest.Run(t, "testdata", analysis.SharedCapture,
+		"repro/internal/sweep/scfix",
+		"repro/internal/sweep/scfree",
+	)
+}
+
+func TestWaiverAudit(t *testing.T) {
+	// wvfix: a stale directive, one naming an unknown analyzer, and a
+	// live directive with no reason. wvfree: a waiver that suppressed
+	// a real diagnostic — the audit stays silent. Both run under the
+	// full suite, since staleness is a property of the whole run.
+	atest.RunSuite(t, "testdata",
+		"repro/internal/sched/wvfix",
+		"repro/internal/sched/wvfree",
+	)
+}
+
+func TestLoaderEdgeCases(t *testing.T) {
+	// edgetag: a //go:build ignore file whose violations must not
+	// surface. edgegen: the same for a generated-code header. edgecl:
+	// closures passed as kernel handlers — detflow and spanpair look
+	// inside the literal. edgemv: method values bound to Kernel.At /
+	// After allocate like closures and hotalloc flags them.
+	atest.RunSuite(t, "testdata",
+		"repro/internal/sched/edgetag",
+		"repro/internal/sched/edgegen",
+		"repro/internal/sched/edgecl",
+		"repro/internal/sched/edgemv",
 	)
 }
 

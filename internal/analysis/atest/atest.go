@@ -62,7 +62,30 @@ func sharedLoader(t *testing.T, root, extraSrc string) *loader.Loader {
 // Run loads each fixture import path from testdata/src, applies the
 // analyzer, and checks the diagnostics against the fixtures' want
 // comments in both directions (missing and unexpected findings fail).
+//
+// Each path is analyzed as a fleet run over its dependency closure —
+// fixture helper packages under testdata/src are analyzed first and
+// report alongside the named package, so cross-package fact flow
+// (detflow summaries, rngstream stream tables) and the fleet-wide
+// Finish hooks behave exactly as in `make lint`.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		runFleet(t, testdata, []*analysis.Analyzer{a}, false, path)
+	}
+}
+
+// RunSuite applies the full rdlint analyzer suite plus the
+// stale-waiver audit to each fixture path — the harness for waiver
+// fixtures, whose wants include `waiveraudit` findings.
+func RunSuite(t *testing.T, testdata string, importPaths ...string) {
+	t.Helper()
+	for _, path := range importPaths {
+		runFleet(t, testdata, analysis.Analyzers, true, path)
+	}
+}
+
+func runFleet(t *testing.T, testdata string, analyzers []*analysis.Analyzer, audit bool, path string) {
 	t.Helper()
 	root, err := loader.FindModuleRoot(".")
 	if err != nil {
@@ -72,22 +95,46 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...str
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range importPaths {
-		l := sharedLoader(t, root, extraSrc)
-		pkg, err := l.Load(path)
-		if err != nil {
-			t.Fatalf("load %s: %v", path, err)
-		}
-		diags, err := analysis.Run(l.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Fatalf("%s on %s: %v", a.Name, path, err)
-		}
-		wants, err := parseWants(l.Fset, pkg)
-		if err != nil {
-			t.Fatalf("%s: %v", path, err)
-		}
-		checkDiagnostics(t, l.Fset, path, diags, wants)
+	l := sharedLoader(t, root, extraSrc)
+	pkgs, err := l.DependencyOrder([]string{path})
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
 	}
+	var units []*analysis.Unit
+	var named *loader.Package
+	for _, pkg := range pkgs {
+		units = append(units, &analysis.Unit{
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    pkg.Path == path,
+		})
+		if pkg.Path == path {
+			named = pkg
+		}
+	}
+	if named == nil {
+		t.Fatalf("load %s: package absent from its own closure", path)
+	}
+	diags, err := analysis.RunUnits(l.Fset, units, analyzers, analysis.RunOptions{Audit: audit})
+	if err != nil {
+		t.Fatalf("analyzers on %s: %v", path, err)
+	}
+	// Fleet (Finish) diagnostics may land in dependency packages — a
+	// fixture stream constant colliding with another package's reports
+	// both sites. The named package's findings are what the fixture
+	// asserts; the rest belong to runs naming those packages.
+	var scoped []analysis.Diagnostic
+	for _, d := range diags {
+		if strings.HasPrefix(l.Fset.Position(d.Pos).Filename, named.Dir+string(filepath.Separator)) {
+			scoped = append(scoped, d)
+		}
+	}
+	wants, err := parseWants(l.Fset, named)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	checkDiagnostics(t, l.Fset, path, scoped, wants)
 }
 
 func checkDiagnostics(t *testing.T, fset *token.FileSet, path string, diags []analysis.Diagnostic, wants []*expectation) {
@@ -121,6 +168,15 @@ func parseWants(fset *token.FileSet, pkg *loader.Package) ([]*expectation, error
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					// The block form /* want "re" */ exists for lines whose
+					// trailing line comment is itself the construct under
+					// test (an //rdlint: directive swallows the rest of the
+					// line, so a line-comment want cannot follow it).
+					if t, ok2 := strings.CutPrefix(c.Text, "/* want "); ok2 && strings.HasSuffix(t, "*/") {
+						text, ok = strings.TrimSuffix(t, "*/"), true
+					}
+				}
 				if !ok {
 					continue
 				}

@@ -46,7 +46,7 @@ var HotAlloc = &Analyzer{
 
 func runHotAlloc(pass *Pass) error {
 	for _, f := range pass.Files {
-		if pass.IsTestFile(f.Pos()) {
+		if pass.SkipFile(f) {
 			continue
 		}
 		if !hasHotPathMarker(f) {
@@ -78,6 +78,11 @@ func runHotAlloc(pass *Pass) error {
 							"closure passed to Kernel.%s allocates per arming on a //rd:hotpath file; recurring timers must use the typed %sCall payload",
 							fn.Name(), fn.Name())
 					}
+					if isMethodValue(pass, arg) {
+						pass.Reportf(arg.Pos(),
+							"method value passed to Kernel.%s allocates its bound-method closure per arming on a //rd:hotpath file; recurring timers must use the typed %sCall payload",
+							fn.Name(), fn.Name())
+					}
 				}
 			}
 			if isTelemetryRegistryMethod(fn) {
@@ -89,6 +94,18 @@ func runHotAlloc(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// isMethodValue reports whether arg is a method-value expression
+// (obj.Method used as a value, not called): each evaluation allocates
+// a closure binding the receiver, exactly like a func literal.
+func isMethodValue(pass *Pass, arg ast.Expr) bool {
+	sel, ok := unparen(arg).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
 }
 
 // hasHotPathMarker reports whether any comment in the file is exactly

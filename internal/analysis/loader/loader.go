@@ -11,6 +11,7 @@ package loader
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -18,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -28,6 +30,11 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// Imports lists the module-internal (and fixture) packages this
+	// package imports, sorted — the edges fleet runs use to analyze
+	// dependencies before their importers.
+	Imports []string
 }
 
 // Loader loads packages of one module.
@@ -137,7 +144,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 		return nil, err
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+		return nil, fmt.Errorf("loader: no buildable Go files in %s", dir)
 	}
 	var files []*ast.File
 	for _, name := range names {
@@ -147,6 +154,27 @@ func (l *Loader) Load(path string) (*Package, error) {
 		}
 		files = append(files, f)
 	}
+
+	// Record module-internal import edges before typechecking: the
+	// recursive importPkg calls below fill the cache bottom-up, and
+	// callers use these edges to fleet-order whole runs.
+	imports := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if l.dirFor(p) != "" {
+				imports[p] = true
+			}
+		}
+	}
+	var importList []string
+	for p := range imports {
+		importList = append(importList, p)
+	}
+	sort.Strings(importList)
 
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -163,9 +191,43 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("loader: typecheck %s: %w", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, TypesInfo: info}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, TypesInfo: info, Imports: importList}
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// DependencyOrder loads the given packages plus every module-internal
+// (or fixture) package they transitively import, and returns the
+// closure topologically sorted, dependencies first. Fleet analyzer
+// runs iterate this order so a package's facts exist before any
+// importer asks for them.
+func (l *Loader) DependencyOrder(paths []string) ([]*Package, error) {
+	var out []*Package
+	seen := make(map[string]bool)
+	var visit func(string) error
+	visit = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		pkg, err := l.Load(path)
+		if err != nil {
+			return err
+		}
+		for _, dep := range pkg.Imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		out = append(out, pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 func (l *Loader) importPkg(path string) (*types.Package, error) {
@@ -186,7 +248,15 @@ type importerFunc func(string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-// goFilesIn lists the non-test Go files of dir, sorted.
+// buildCtx evaluates build constraints the way the toolchain building
+// this module would: host GOOS/GOARCH, current release tags. Files a
+// real build would drop (//go:build ignore scratch files, foreign-OS
+// _windows.go variants) must not reach the typechecker — they fail to
+// compile here by design, and their diagnostics would be noise.
+var buildCtx = build.Default
+
+// goFilesIn lists the non-test Go files of dir that satisfy the build
+// constraints, sorted.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -197,6 +267,11 @@ func goFilesIn(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		// MatchFile applies //go:build lines, legacy +build comments
+		// and filename GOOS/GOARCH suffixes.
+		if ok, err := buildCtx.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -48,7 +48,7 @@ func runMapOrder(pass *Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
-		if pass.IsTestFile(f.Pos()) {
+		if pass.SkipFile(f) {
 			continue
 		}
 		next := nextStmtMap(f)

@@ -21,7 +21,7 @@ var RawRand = &Analyzer{
 
 func runRawRand(pass *Pass) error {
 	for _, f := range pass.Files {
-		if pass.IsTestFile(f.Pos()) {
+		if pass.SkipFile(f) {
 			continue
 		}
 		// The one sanctioned home: were sim.RNG ever reimplemented on

@@ -1,0 +1,7 @@
+// Package fault shadows the live injector band base so rngstream
+// fixtures exercise the fault.StreamBase+i dynamic-band exemption
+// against the exact identity the analyzer gates on.
+package fault
+
+// StreamBase mirrors the live injector band base.
+const StreamBase = 16

@@ -1,0 +1,22 @@
+// Package hostinfo is a fixture dependency outside the deterministic
+// set. Its functions read host state and forward values into record
+// sinks; detflow summarizes both as facts, and the dffix package
+// (which imports this one) asserts that the taint crosses the
+// package boundary.
+package hostinfo
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Uptime returns host-derived nanoseconds. Exported summary:
+// NondetFact via time.Now.
+func Uptime() int64 { return time.Now().UnixNano() }
+
+// Record forwards at into the span log. Exported summary:
+// SinkParamsFact{Params: [1]}.
+func Record(sp *telemetry.Spans, at int64) {
+	sp.Instant(at, "host", "mark", 0, 0, "")
+}

@@ -1,0 +1,30 @@
+// dffree holds detflow negatives: a GOMAXPROCS worker-count read
+// (taint-only source, never reaches a record), and sink calls fed
+// exclusively from parameters — virtual-time values the caller owns.
+package dffree
+
+import (
+	"runtime"
+
+	"repro/internal/telemetry"
+)
+
+// workers bounds a pool by host parallelism. The read taints w (its
+// summary notes the host-derived return), but nothing here records
+// it, so there is nothing to report.
+func workers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// record logs virtual-time values passed in by the caller.
+func record(h *telemetry.Histogram, sp *telemetry.Spans, now int64) {
+	h.Observe(now)
+	sp.Instant(now, "sim", "tick", 0, 0, "")
+	for i := 0; i < workers(); i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,16 @@
+// Package edgegen proves generated files are exempt: zz_generated.go
+// carries the standard generated-code header and the same violations
+// as this file, with no want comments — analyzers must skip it the
+// way they skip test files.
+package edgegen
+
+import "time"
+
+var order []int
+
+func collect(m map[int]int) {
+	for k := range m { // want "order-sensitive"
+		order = append(order, k)
+	}
+	_ = time.Now() // want "reads the host clock"
+}

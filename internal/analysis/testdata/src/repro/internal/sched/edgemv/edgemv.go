@@ -1,0 +1,29 @@
+// Package edgemv exercises method values on the hot path: a bound
+// method handed to Kernel.At/After allocates its closure per arming
+// exactly like a func literal, and hotalloc flags both forms; the
+// typed AtCall payload stays the sanctioned shape.
+package edgemv
+
+//rd:hotpath
+
+import (
+	"repro/internal/sim"
+	"repro/internal/ticks"
+)
+
+type pump struct {
+	k *sim.Kernel
+	n int32
+}
+
+func (p *pump) tick() { p.n++ }
+
+// HandleEvent is the typed-payload callback.
+func (p *pump) HandleEvent(op, id int32, arg ticks.Ticks) {}
+
+func (p *pump) arm() {
+	p.k.At(100, p.tick)               // want "bound-method closure"
+	p.k.After(50, p.tick)             // want "bound-method closure"
+	p.k.AtCall(100, p, 1, p.n, 0)     // typed payload: fine
+	p.k.AfterCall(50, p, 2, p.n, 0)   // typed payload: fine
+}

@@ -1,0 +1,16 @@
+// Package edgetag proves the loader honors build constraints: the
+// sibling excluded.go is constrained away with //go:build ignore, so
+// the violations it contains must not be reported — while identical
+// constructs in this buildable file are.
+package edgetag
+
+import "time"
+
+var order []int
+
+func collect(m map[int]int) {
+	for k := range m { // want "order-sensitive"
+		order = append(order, k)
+	}
+	_ = time.Now() // want "reads the host clock"
+}

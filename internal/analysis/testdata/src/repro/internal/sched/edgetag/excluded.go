@@ -1,0 +1,18 @@
+//go:build ignore
+
+// excluded.go carries the same violations as edgetag.go with no want
+// comments: if the loader ever stopped applying build constraints,
+// these sites would surface as unexpected diagnostics and fail the
+// fixture.
+package edgetag
+
+import "time"
+
+var shadowOrder []int
+
+func collectExcluded(m map[int]int) {
+	for k := range m {
+		shadowOrder = append(shadowOrder, k)
+	}
+	_ = time.Now()
+}

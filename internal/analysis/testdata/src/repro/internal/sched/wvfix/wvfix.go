@@ -1,0 +1,19 @@
+// Package wvfix exercises the waiver audit's true positives: a
+// directive whose analyzer no longer fires at the site (stale), a
+// directive naming an analyzer that does not exist, and a live
+// directive with no written reason. The block-comment want form is
+// used where the directive itself owns the trailing line comment.
+package wvfix
+
+import "time"
+
+func calibrate() int {
+	x := 1 /* want "stale waiver" */ //rdlint:allow wallclock calibration used host time before v2
+	y := 2 /* want "unknown analyzer" */ //rdlint:allow clockskew skew is compensated downstream
+	return x + y
+}
+
+func stamp() {
+	t := time.Now() /* want "missing a reason" */ //rdlint:allow wallclock
+	_ = t
+}

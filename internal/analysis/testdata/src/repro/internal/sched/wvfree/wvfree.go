@@ -1,0 +1,13 @@
+// Package wvfree holds the waiver audit's negative: a directive that
+// suppressed a real diagnostic this run is a live waiver, and the
+// audit stays silent about it.
+package wvfree
+
+import "time"
+
+// hostStamp is the waived shape: wallclock would fire on time.Now in
+// this deterministic package, the directive suppresses it with a
+// reason, and the audit records the hit.
+func hostStamp() int64 {
+	return time.Now().UnixNano() //rdlint:allow wallclock fixture exercises a live waiver end to end
+}

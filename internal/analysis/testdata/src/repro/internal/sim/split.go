@@ -1,0 +1,10 @@
+// split.go shadows the live SplitSeed surface so rngstream and
+// detflow fixtures resolve sim.SplitSeed to the exact identity the
+// analyzers gate on.
+package sim
+
+// StreamPeek mirrors the live kernel's probe substream constant.
+const StreamPeek = 1
+
+// SplitSeed mirrors the live substream derivation.
+func SplitSeed(seed, stream uint64) uint64 { return seed ^ stream }

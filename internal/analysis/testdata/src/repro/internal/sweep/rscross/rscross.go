@@ -1,0 +1,17 @@
+// rscross demonstrates the fleet-wide half of rngstream: its stream
+// constant collides with rsdep.StreamDep in a package it merely
+// imports — the class of cross-package collision no per-file analyzer
+// can see.
+package rscross
+
+import (
+	"repro/internal/sweep/rsdep"
+	"repro/internal/sim"
+)
+
+const streamCross = 5 // same value as rsdep.StreamDep
+
+func derive(seed uint64) {
+	_ = rsdep.Derive(seed)
+	_ = sim.SplitSeed(seed, streamCross) // want "claimed by 2 distinct constants"
+}

@@ -1,0 +1,16 @@
+// rsdep is a fixture dependency claiming stream 5, for the
+// cross-package half of the rngstream collision test: rscross claims
+// the same value through a different constant, and the fleet pass
+// reports both sides (the rscross run asserts its own site; this
+// package's site is reported when a run names rsdep).
+package rsdep
+
+import "repro/internal/sim"
+
+// StreamDep is this package's substream.
+const StreamDep = 5
+
+// Derive forks rsdep's substream off the run seed.
+func Derive(seed uint64) uint64 {
+	return sim.SplitSeed(seed, StreamDep)
+}

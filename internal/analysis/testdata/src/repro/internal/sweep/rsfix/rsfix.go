@@ -1,0 +1,23 @@
+// rsfix holds rngstream true positives: a bare-literal stream, a
+// dynamic stream outside the injector band, a constant parked inside
+// the injector band, and two distinct constants colliding on one
+// stream value (reported fleet-wide by the Finish pass).
+package rsfix
+
+import "repro/internal/sim"
+
+const (
+	streamA = 4 // collides with streamB
+	streamB = 4 // collides with streamA
+	streamC = 17
+)
+
+func derive(seed uint64, n int) {
+	_ = sim.SplitSeed(seed, 7)               // want "bare literal"
+	_ = sim.SplitSeed(seed, uint64(n))       // want "not a compile-time constant"
+	_ = sim.SplitSeed(seed, streamC)         // want "fault-injector band"
+	_ = sim.SplitSeed(seed, streamA)         // want "claimed by 2 distinct constants"
+	_ = sim.SplitSeed(seed, streamB)         // want "claimed by 2 distinct constants"
+	_ = sim.SplitSeed(seed, streamA)         // second use of streamA: same purpose, not a new identity
+	_ = sim.SplitSeed(seed, uint64(n)+21+21) // want "not a compile-time constant"
+}

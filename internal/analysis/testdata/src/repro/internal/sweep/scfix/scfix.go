@@ -1,0 +1,27 @@
+// scfix holds sharedcapture true positives: a worker goroutine
+// mutating captured state directly — a counter, a compound
+// assignment, a struct field, and a pointer target.
+package scfix
+
+import "sync"
+
+type progress struct{ done bool }
+
+func run(n int) int {
+	var wg sync.WaitGroup
+	total := 0
+	state := progress{}
+	p := &total
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++           // want "mutates captured variable total"
+			total = total + 1 // want "assigns to captured variable total"
+			state.done = true // want "assigns to captured variable state"
+			*p = 7            // want "assigns to captured variable p"
+		}()
+	}
+	wg.Wait()
+	return total
+}

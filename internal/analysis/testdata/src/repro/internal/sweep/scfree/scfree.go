@@ -1,0 +1,30 @@
+// scfree holds sharedcapture negatives: the sanctioned result paths
+// out of a worker goroutine — per-index slots, atomic counters,
+// channel sends, and closure-local state.
+package scfree
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func run(specs []int) []int {
+	out := make([]int, len(specs))
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	results := make(chan int, len(specs))
+	for i := range specs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := specs[i] * 2
+			local++
+			out[i] = local
+			done.Add(1)
+			results <- local
+		}()
+	}
+	wg.Wait()
+	close(results)
+	return out
+}

@@ -1,0 +1,25 @@
+// spfix holds spanpair true positives: discarded Begin results, a
+// span that is neither ended nor handed off, and a deferred End
+// inside a loop.
+package spfix
+
+import "repro/internal/telemetry"
+
+func discarded(s *telemetry.Spans, at int64) {
+	s.Begin(at, "sched", "slice", 0, 0)     // want "discarded"
+	_ = s.Begin(at, "sched", "slice", 0, 0) // want "discarded"
+}
+
+func leaked(s *telemetry.Spans, at int64) {
+	id := s.Begin(at, "sched", "slice", 0, 0) // want "never ended"
+	if id == 0 {
+		return
+	}
+}
+
+func deferInLoop(s *telemetry.Spans, at int64) {
+	for i := int64(0); i < 3; i++ {
+		id := s.Begin(at+i, "sched", "slice", 0, 0)
+		defer s.End(id, at+i+1) // want "inside a loop"
+	}
+}

@@ -41,3 +41,31 @@ func (r *Registry) Histogram(name string, width int64, bins int) *Histogram { re
 
 // Lookup finds an already-registered instrument by name.
 func (r *Registry) Lookup(name string) (any, bool) { return nil, false }
+
+// SpanID identifies a span within one Spans log.
+type SpanID int64
+
+// Spans mirrors the live span log: detflow treats its recording
+// methods as sinks, and spanpair enforces Begin/End pairing on it.
+type Spans struct{ n int }
+
+// Begin opens a span and returns its ID.
+func (s *Spans) Begin(at int64, cat, name string, tsk int64, parent SpanID) SpanID {
+	s.n++
+	return SpanID(s.n)
+}
+
+// End closes a previously begun span.
+func (s *Spans) End(id SpanID, at int64) {}
+
+// Complete records an already-closed span.
+func (s *Spans) Complete(begin, end int64, cat, name string, tsk int64, parent SpanID, detail string) SpanID {
+	s.n++
+	return SpanID(s.n)
+}
+
+// Instant records a zero-duration marker.
+func (s *Spans) Instant(at int64, cat, name string, tsk int64, parent SpanID, detail string) SpanID {
+	s.n++
+	return SpanID(s.n)
+}

@@ -1,0 +1,11 @@
+// Package trace is the fixture shadow of the live trace package:
+// a Recorder with one On* observer method, so detflow's
+// observer-callback sink convention can be exercised against the
+// same package path and type name as the real thing.
+package trace
+
+// Recorder is a shadow of the live event recorder.
+type Recorder struct{ misses int }
+
+// OnDeadlineMiss records a missed deadline.
+func (r *Recorder) OnDeadlineMiss(id int64, deadline, undelivered int64) { r.misses++ }

@@ -47,7 +47,7 @@ func runTickUnits(pass *Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
-		if pass.IsTestFile(f.Pos()) {
+		if pass.SkipFile(f) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -127,5 +127,7 @@ func isFloatType(t types.Type) bool {
 	return ok && b.Info()&types.IsFloat != 0
 }
 
-// Analyzers is the full rdlint suite in reporting order.
-var Analyzers = []*Analyzer{MapOrder, WallClock, RawRand, TickUnits, HotAlloc}
+// Analyzers is the full rdlint suite in reporting order: the v1
+// single-package syntax checks, then the v2 cross-package dataflow
+// analyzers (which export facts and run fleet-wide Finish passes).
+var Analyzers = []*Analyzer{MapOrder, WallClock, RawRand, TickUnits, HotAlloc, RngStream, DetFlow, SpanPair, SharedCapture}

@@ -41,7 +41,7 @@ func runWallClock(pass *Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
-		if pass.IsTestFile(f.Pos()) {
+		if pass.SkipFile(f) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -82,7 +82,7 @@ func NewKernel(cfg Config) *Kernel {
 	}
 	return &Kernel{
 		rng:        *NewRNG(cfg.Seed),
-		peek:       *NewRNG(SplitSeed(cfg.Seed, 1)),
+		peek:       *NewRNG(SplitSeed(cfg.Seed, StreamPeek)),
 		costs:      cfg.Costs,
 		tickBudget: budget,
 	}

@@ -21,6 +21,15 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// StreamPeek is the SplitSeed substream reserved for the kernel's
+// read-only PeekSwitchCost probe generator. Stream numbers are a
+// fleet-wide namespace policed by the rngstream analyzer: every
+// substream purpose owns a distinct named constant below
+// fault.StreamBase (16) — the kernel's cost stream is the raw seed,
+// internal/sweep claims 2 and 3 for workload parameter jitter, and
+// the band at 16 and above belongs to fault.ArmAll's injectors.
+const StreamPeek = 1
+
 // SplitSeed derives a decorrelated child seed from seed for substream
 // number stream, via one splitmix64 step (Steele, Lea & Flood 2014).
 // Substreams let one run seed drive several independent generators —

@@ -244,9 +244,9 @@ type histJSON struct {
 }
 
 type cellJSON struct {
-	Scenario   string `json:"scenario"`
-	CostModel  string `json:"cost_model"`
-	Policy     string `json:"policy"`
+	Scenario       string `json:"scenario"`
+	CostModel      string `json:"cost_model"`
+	Policy         string `json:"policy"`
 	Runs           int    `json:"runs"`
 	Errors         int    `json:"errors"`
 	FirstError     string `json:"first_error,omitempty"`

@@ -19,10 +19,12 @@ import (
 
 const ms = ticks.PerMillisecond
 
-// Seed substreams. Stream 1 belongs to the kernel's probe substream
-// (sim.NewKernel); the sweep forks its own decorrelated streams off
-// the run seed so scenario-level randomness never touches the
-// kernel's cost stream.
+// Seed substreams. Stream 1 is sim.StreamPeek (the kernel's probe
+// substream); the sweep forks its own decorrelated streams off the
+// run seed so scenario-level randomness never touches the kernel's
+// cost stream. The rngstream analyzer checks fleet-wide that no other
+// package claims these values and that everything stays below the
+// fault-injector band at fault.StreamBase.
 const (
 	streamStress   = 2 // stress-generator workload parameters
 	streamGraphics = 3 // 3D renderer scene costs

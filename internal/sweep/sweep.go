@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/telemetry"
 	"repro/internal/ticks"
@@ -198,8 +199,7 @@ func Run(m Matrix, opt Options) (*Result, error) {
 	out := make([]RunMetrics, len(specs))
 	jobs := make(chan int)
 	var done sync.WaitGroup
-	var progressMu sync.Mutex
-	completed := 0
+	var completed atomic.Int64
 	done.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -207,11 +207,7 @@ func Run(m Matrix, opt Options) (*Result, error) {
 			for i := range jobs {
 				out[i] = runOne(specs[i])
 				if opt.Progress != nil {
-					progressMu.Lock()
-					completed++
-					n := completed
-					progressMu.Unlock()
-					opt.Progress(n, len(specs))
+					opt.Progress(int(completed.Add(1)), len(specs))
 				}
 			}
 		}()
