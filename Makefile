@@ -6,7 +6,7 @@ GO ?= go
 BENCH_REGEX = KernelStep|PeriodRollover|SweepCell|Table2MPEGDecodeSecond|BenchmarkEventQueue$$|SchedulerSteadyState
 BENCH_PKGS  = . ./internal/sim ./internal/sched ./internal/sweep
 
-.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke bench bench-smoke telemetry-smoke telemetry-golden ci
+.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke baseline-smoke bench bench-smoke telemetry-smoke telemetry-golden ci
 
 all: build test lint
 
@@ -67,6 +67,20 @@ fault-smoke:
 	cmp fault-w4.json fault-w1.json
 	rm -f fault-w4.json fault-w1.json
 
+# Comparator-family smoke (see EXPERIMENTS.md "baseline family"): the
+# baseline and streamer suites under the race detector, then the
+# baseline scenario family — lottery/stride/CFS comparators plus the
+# allocator-driven streamer — through rdsweep on 4 workers and on 1,
+# asserting byte-identical JSON. The lottery's seeded RNG substream
+# and the streamer's exact byte·27 accounting must both survive the
+# worker-invariance contract.
+baseline-smoke:
+	$(GO) test -race -count=1 ./internal/baseline/... ./internal/streamer/...
+	$(GO) run -race ./cmd/rdsweep -scenarios baseline -seeds 8 -workers 4 -horizon-ms 500 -quiet -json baseline-w4.json
+	$(GO) run -race ./cmd/rdsweep -scenarios baseline -seeds 8 -workers 1 -horizon-ms 500 -quiet -json baseline-w1.json
+	cmp baseline-w4.json baseline-w1.json
+	rm -f baseline-w4.json baseline-w1.json
+
 # Telemetry smoke (see docs/OBSERVABILITY.md): the telemetry suite,
 # then a seeded scenario run twice — the rdtel/v1 manifests must be
 # byte-identical — and an export that must pass the Chrome trace-event
@@ -123,4 +137,4 @@ bench-smoke:
 		| $(GO) run ./cmd/rdperf compare -against BENCH_kernel.json -section current \
 			-threshold 15 $(BENCH_GATE) -gate-units allocs/op,B/op
 
-ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke telemetry-smoke bench-smoke
+ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke baseline-smoke telemetry-smoke bench-smoke

@@ -164,6 +164,7 @@ var DeterministicPackages = []string{
 	"repro/internal/core",
 	"repro/internal/policy",
 	"repro/internal/baseline",
+	"repro/internal/streamer",
 	"repro/internal/sweep",
 	"repro/internal/fault",
 	"repro/internal/invariant",

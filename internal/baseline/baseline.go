@@ -17,8 +17,13 @@
 //     tasks must reserve for their worst case, so "the full processor
 //     may not be used".
 //
-// Both reuse task.Body, so the identical MPEG/3D/audio models run
-// under all three schedulers.
+//   - Lottery, Stride, and CFS (propshare.go) extend the family with
+//     the classic proportional-share schedulers the literature would
+//     reach for today: randomized tickets, deterministic strides, and
+//     weighted virtual runtime.
+//
+// All of them reuse task.Body, so the identical MPEG/3D/audio models
+// run under every scheduler.
 package baseline
 
 import (
@@ -47,28 +52,74 @@ func (s Stats) MissRate() float64 {
 	return float64(s.MissedPeriods) / float64(s.Periods)
 }
 
+// strideScale is the fixed-point scale of pass/vruntime arithmetic:
+// pass advances in units of strideScale·ticks per weight. The scale
+// only has to be large enough that one tick of CPU moves every pass,
+// whatever the weight.
+const strideScale = 1 << 20
+
+// strideCore is the shared pass/vruntime state of the proportional-
+// share schedulers: a fixed-point accumulator whose division
+// remainder is carried exactly between charges, so no systematic
+// bias toward high-weight tasks accumulates (the classic truncation
+// bug: `pass += used*scale/weight` drops up to weight-1 units every
+// slice, always in the same direction).
+type strideCore struct {
+	pass ticks.Ticks // current pass / virtual runtime, in scale units
+	rem  int64       // carried remainder of the last division, < weight
+}
+
+// charge advances pass by num/weight, carrying the remainder exactly.
+// num is in strideScale-weighted units: used*strideScale for usage-
+// metered schedulers (FairShare, CFS), strideScale per selection for
+// classic stride.
+func (s *strideCore) charge(num, weight int64) {
+	num += s.rem
+	s.pass += ticks.Ticks(num / weight)
+	s.rem = num % weight
+}
+
+// wake clamps a waking task's pass up to the runnable minimum (the
+// scheduler's global virtual time). Without the clamp a long-parked
+// task returns with a stale, far-behind pass and monopolizes the CPU
+// until it catches up — the classic stride/CFS sleeper bug.
+func (s *strideCore) wake(vmin ticks.Ticks) {
+	if s.pass < vmin {
+		s.pass = vmin
+		s.rem = 0
+	}
+}
+
 // btask is the baseline schedulers' per-task record.
 type btask struct {
 	name   string
 	period ticks.Ticks
 	body   task.Body
-	weight int64       // FairShare share
+	weight int64       // FairShare weight / Stride+Lottery tickets / CFS weight
 	budget ticks.Ticks // Reserves per-period budget
 
 	deadline ticks.Ticks
 	newPd    bool
-	done     bool // yielded until next period
-	usedPd   ticks.Ticks
-	pass     ticks.Ticks // stride pass value
-	remain   ticks.Ticks // Reserves: budget left this period
-	stats    Stats
-	everRan  bool
+	// parked: the task yielded, blocked, or exited and will not run
+	// again until the next period boundary. completedPd records
+	// whether the period's work actually finished — a blocked-but-
+	// unfinished frame parks without completing, and roll must count
+	// it as a miss, not a completion.
+	parked      bool
+	completedPd bool
+	usedPd      ticks.Ticks
+	sc          strideCore  // pass/vruntime state (proportional family)
+	remain      ticks.Ticks // Reserves: budget left this period
+	queued      bool        // CFS: task is in the ready queue
+	stats       Stats
+	everRan     bool
 }
 
 func (b *btask) beginPeriod(start ticks.Ticks) {
 	b.deadline = start + b.period
 	b.newPd = true
-	b.done = false
+	b.parked = false
+	b.completedPd = false
 	b.usedPd = 0
 	b.remain = b.budget
 	b.stats.Periods++
@@ -85,124 +136,6 @@ func (b *btask) ctx(now, span ticks.Ticks) task.RunContext {
 	b.newPd = false
 	b.everRan = true
 	return c
-}
-
-// --- FairShare (SMART-like) ---
-
-// FairShare is a stride scheduler over the admitted tasks: no
-// admission test, no reservations, equal progress per weight.
-type FairShare struct {
-	k       *sim.Kernel
-	quantum ticks.Ticks
-	tasks   []*btask
-}
-
-// NewFairShare builds a fair-share scheduler with the given quantum.
-func NewFairShare(k *sim.Kernel, quantum ticks.Ticks) *FairShare {
-	if quantum <= 0 {
-		quantum = ticks.PerMillisecond
-	}
-	return &FairShare{k: k, quantum: quantum}
-}
-
-// Add registers a periodic task with a scheduling weight (SMART's
-// share). There is no admission control — that is the point.
-func (f *FairShare) Add(name string, period ticks.Ticks, weight int64, body task.Body) {
-	if weight <= 0 {
-		weight = 1
-	}
-	b := &btask{name: name, period: period, body: body, weight: weight}
-	b.beginPeriod(f.k.Now())
-	f.tasks = append(f.tasks, b)
-}
-
-// Stats reports accounting for a task by name.
-func (f *FairShare) Stats(name string) (Stats, bool) {
-	for _, b := range f.tasks {
-		if b.name == name {
-			return b.stats, true
-		}
-	}
-	return Stats{}, false
-}
-
-// RunUntil drives the fair-share schedule to limit.
-func (f *FairShare) RunUntil(limit ticks.Ticks) {
-	for f.k.Now() < limit {
-		now := f.k.Now()
-		f.k.RunUntil(now)
-		f.roll(now)
-		cur := f.pick()
-		next := f.nextBoundary(limit)
-		if cur == nil {
-			d := next - now
-			if d <= 0 {
-				return
-			}
-			f.k.Advance(d)
-			f.k.AccountIdle(d)
-			continue
-		}
-		span := f.quantum
-		if now+span > next {
-			span = next - now
-		}
-		if at, ok := f.k.NextEventTime(); ok && at-now < span {
-			span = at - now
-		}
-		if span <= 0 {
-			panic("baseline: zero fair-share slice")
-		}
-		res := cur.body.Run(cur.ctx(now, span))
-		used := clampUsed(res.Used, span)
-		f.k.Advance(used)
-		f.k.AccountBusy(used)
-		cur.usedPd += used
-		cur.stats.UsedTicks += used
-		cur.pass += used * 1000 / ticks.Ticks(cur.weight)
-		applyOp(cur, res)
-	}
-}
-
-// pick returns the runnable task with the lowest pass value.
-func (f *FairShare) pick() *btask {
-	var best *btask
-	for _, b := range f.tasks {
-		if b.done {
-			continue
-		}
-		if best == nil || b.pass < best.pass ||
-			(b.pass == best.pass && b.name < best.name) {
-			best = b
-		}
-	}
-	return best
-}
-
-func (f *FairShare) roll(now ticks.Ticks) {
-	for _, b := range f.tasks {
-		for b.deadline <= now {
-			if !b.done {
-				b.stats.MissedPeriods++
-			} else {
-				b.stats.Completed++
-			}
-			b.beginPeriod(b.deadline)
-		}
-	}
-}
-
-func (f *FairShare) nextBoundary(limit ticks.Ticks) ticks.Ticks {
-	next := limit
-	for _, b := range f.tasks {
-		if b.deadline < next {
-			next = b.deadline
-		}
-	}
-	if at, ok := f.k.NextEventTime(); ok && at < next {
-		next = at
-	}
-	return next
 }
 
 // --- Reserves (Processor Capacity Reserves-like) ---
@@ -300,7 +233,7 @@ func (r *Reserves) RunUntil(limit ticks.Ticks) {
 		if cur.remain <= 0 {
 			// Reservation exhausted: parked until the next period.
 			// Unused CPU is NOT redistributed.
-			cur.done = true
+			cur.parked = true
 		}
 	}
 }
@@ -308,7 +241,7 @@ func (r *Reserves) RunUntil(limit ticks.Ticks) {
 func (r *Reserves) pick() *btask {
 	ready := make([]*btask, 0, len(r.tasks))
 	for _, b := range r.tasks {
-		if !b.done && b.remain > 0 {
+		if !b.parked && b.remain > 0 {
 			ready = append(ready, b)
 		}
 	}
@@ -327,18 +260,20 @@ func (r *Reserves) pick() *btask {
 func (r *Reserves) roll(now ticks.Ticks) {
 	for _, b := range r.tasks {
 		for b.deadline <= now {
-			if !b.done && b.usedPd < b.budget {
-				// Had budget left but work outstanding at the
-				// deadline (EDF with feasible reservations should
-				// not produce this; kept for audit symmetry).
-				b.stats.MissedPeriods++
-			} else if b.done && b.usedPd < b.budget {
+			switch {
+			case b.completedPd:
+				// Work finished within the reservation.
 				b.stats.Completed++
-			} else {
+			case b.remain <= 0:
 				// Budget fully consumed: under Reserves the task may
 				// still have had work to do, but the reservation
 				// model calls that "served".
 				b.stats.Completed++
+			default:
+				// Budget left but work outstanding at the boundary: a
+				// blocked-but-unfinished frame (or an EDF anomaly,
+				// which feasible reservations should not produce).
+				b.stats.MissedPeriods++
 			}
 			b.beginPeriod(b.deadline)
 		}
@@ -370,13 +305,17 @@ func clampUsed(used, span ticks.Ticks) ticks.Ticks {
 	return used
 }
 
+// applyOp folds a body's RunResult into the task record. Yield,
+// block, and exit all park the task until its next period boundary —
+// the baselines have no overtime machinery — but only res.Completed
+// marks the period's work as done. A task that blocks mid-frame
+// parks *without* completing, and roll scores that period as missed.
 func applyOp(b *btask, res task.RunResult) {
+	if res.Completed {
+		b.completedPd = true
+	}
 	switch res.Op {
 	case task.OpYield, task.OpBlock, task.OpExit:
-		if res.Completed {
-			b.done = true
-		} else {
-			b.done = true // baselines have no overtime; parked either way
-		}
+		b.parked = true
 	}
 }

@@ -1,0 +1,325 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/task"
+	"repro/internal/telemetry"
+	"repro/internal/ticks"
+	"repro/internal/workload"
+)
+
+// blockMidFrame returns a body that uses `use` CPU per period and
+// then blocks *without* reporting completion — a frame stuck on I/O.
+func blockMidFrame(use ticks.Ticks) task.Body {
+	return task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+		left := use - ctx.UsedThisPeriod
+		if left > ctx.Span {
+			return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+		}
+		return task.RunResult{Used: left, Op: task.OpBlock}
+	})
+}
+
+// TestBlockedMidFrameCountsMissed is the completion-accounting
+// regression: applyOp used to park a blocking task as "done"
+// regardless of res.Completed, so roll scored a blocked-but-
+// unfinished period as Completed. It must count as a miss.
+func TestBlockedMidFrameCountsMissed(t *testing.T) {
+	k := kernel()
+	f := NewFairShare(k, ms)
+	f.Add("stuck", 10*ms, 1, blockMidFrame(2*ms))
+	f.Add("fine", 10*ms, 1, task.PeriodicWork(2*ms))
+	f.RunUntil(200 * ms)
+
+	stuck, _ := f.Stats("stuck")
+	if stuck.Completed != 0 {
+		t.Errorf("blocked-mid-frame task scored %d Completed periods, want 0", stuck.Completed)
+	}
+	if stuck.MissedPeriods < 10 {
+		t.Errorf("blocked-mid-frame task scored %d MissedPeriods, want every rolled period (≥10)", stuck.MissedPeriods)
+	}
+	fine, _ := f.Stats("fine")
+	if fine.MissedPeriods != 0 || fine.Completed < 10 {
+		t.Errorf("completing task scored %+v, want all periods Completed", fine)
+	}
+}
+
+// TestReservesBlockedMidFrameCountsMissed: same contract under the
+// reservation scheduler — budget left, work outstanding is a miss.
+func TestReservesBlockedMidFrameCountsMissed(t *testing.T) {
+	k := kernel()
+	r := NewReserves(k)
+	if err := r.Reserve("stuck", 10*ms, 4*ms, blockMidFrame(2*ms)); err != nil {
+		t.Fatal(err)
+	}
+	r.RunUntil(200 * ms)
+	st, _ := r.Stats("stuck")
+	if st.Completed != 0 {
+		t.Errorf("blocked task under Reserves scored %d Completed, want 0", st.Completed)
+	}
+	if st.MissedPeriods < 10 {
+		t.Errorf("blocked task under Reserves scored %d MissedPeriods, want ≥10", st.MissedPeriods)
+	}
+}
+
+// TestReservesRollBranches covers the three scoring branches of
+// Reserves.roll: completed-within-budget, budget-exhausted ("served"
+// — the reservation model's view), and blocked-with-budget-left.
+func TestReservesRollBranches(t *testing.T) {
+	cases := []struct {
+		name          string
+		body          task.Body
+		budget        ticks.Ticks
+		wantCompleted bool
+	}{
+		{"completes within budget", task.PeriodicWork(2 * ms), 3 * ms, true},
+		{"exhausts budget", task.BusySilent(), 3 * ms, true},
+		{"blocks with budget left", blockMidFrame(ms), 3 * ms, false},
+	}
+	for _, tc := range cases {
+		k := kernel()
+		r := NewReserves(k)
+		if err := r.Reserve("t", 10*ms, tc.budget, tc.body); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		r.RunUntil(100 * ms)
+		st, _ := r.Stats("t")
+		rolled := st.Completed + st.MissedPeriods
+		if rolled < 9 {
+			t.Errorf("%s: only %d periods rolled", tc.name, rolled)
+		}
+		if tc.wantCompleted && (st.Completed != rolled || st.MissedPeriods != 0) {
+			t.Errorf("%s: %+v, want all %d periods Completed", tc.name, st, rolled)
+		}
+		if !tc.wantCompleted && (st.MissedPeriods != rolled || st.Completed != 0) {
+			t.Errorf("%s: %+v, want all %d periods Missed", tc.name, st, rolled)
+		}
+	}
+}
+
+// hog returns a body that consumes every offered span and never
+// finishes — a pure CPU hog for fairness measurements.
+func hog() task.Body { return task.BusySilent() }
+
+// TestStrideCoreExactArithmetic is the remainder-carry regression in
+// its pure form: N charges of num/weight must advance pass by exactly
+// floor(N·num/weight) — truncating each division separately loses up
+// to (weight-1) units per charge, a systematic one-directional drift.
+func TestStrideCoreExactArithmetic(t *testing.T) {
+	var s strideCore
+	for i := 0; i < 1000; i++ {
+		s.charge(10, 7)
+	}
+	if want := ticks.Ticks(10_000 / 7); s.pass != want {
+		t.Errorf("1000 charges of 10/7 advanced pass by %d, want exactly %d", s.pass, want)
+	}
+	if s.rem != 10_000%7 {
+		t.Errorf("carried remainder = %d, want %d", s.rem, 10_000%7)
+	}
+	// Interleaved weights stay exact independently.
+	var a, b strideCore
+	for i := 0; i < 999; i++ {
+		a.charge(1, 3)
+		b.charge(2, 3)
+	}
+	if a.pass != 333 || b.pass != 666 {
+		t.Errorf("interleaved charges: a=%d b=%d, want 333/666", a.pass, b.pass)
+	}
+}
+
+// TestStrideExactFairness is the remainder-carry regression over a
+// 3:2:1 ticket mix: with exact pass arithmetic, CPU shares stay
+// within one quantum of the ideal split over any window.
+func TestStrideExactFairness(t *testing.T) {
+	k := kernel()
+	s := NewStride(k, ms)
+	s.Add("a", 600*ms, 3, hog())
+	s.Add("b", 600*ms, 2, hog())
+	s.Add("c", 600*ms, 1, hog())
+	s.RunUntil(600 * ms)
+
+	want := map[string]ticks.Ticks{"a": 300 * ms, "b": 200 * ms, "c": 100 * ms}
+	for n, w := range want {
+		st, _ := s.Stats(n)
+		diff := st.UsedTicks - w
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 2*ms {
+			t.Errorf("%s used %v, want %v ±2ms (3:2:1 exact stride split)", n, st.UsedTicks, w)
+		}
+	}
+}
+
+// TestFairShareRemainderFairness: the usage-metered scheduler with
+// awkward weights (7:5:3) must also hold shares to within a couple of
+// quanta — the old truncating arithmetic drifted in one direction.
+func TestFairShareRemainderFairness(t *testing.T) {
+	k := kernel()
+	f := NewFairShare(k, ms)
+	f.Add("a", 600*ms, 7, hog())
+	f.Add("b", 600*ms, 5, hog())
+	f.Add("c", 600*ms, 3, hog())
+	f.RunUntil(600 * ms)
+	want := map[string]ticks.Ticks{"a": 280 * ms, "b": 200 * ms, "c": 120 * ms}
+	for n, w := range want {
+		st, _ := f.Stats(n)
+		diff := st.UsedTicks - w
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 3*ms {
+			t.Errorf("%s used %v, want %v ±3ms (7:5:3 split)", n, st.UsedTicks, w)
+		}
+	}
+}
+
+// sleeperThenHog yields instantly (parked, unfinished) until wakeAt,
+// then becomes a CPU hog — the sleeper-monopoly trigger.
+func sleeperThenHog(wakeAt ticks.Ticks) task.Body {
+	return task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+		if ctx.Now < wakeAt {
+			return task.RunResult{Used: 0, Op: task.OpYield}
+		}
+		return task.RunResult{Used: ctx.Span, Op: task.OpRanOut}
+	})
+}
+
+// TestFairShareSleeperNoMonopoly is the sleeper regression: without
+// the wake clamp, a task parked for 500ms returns with a pass 500ms
+// behind and runs exclusively until it catches up, starving the
+// steady task. With min-pass reset on wakeup the post-wake window
+// splits evenly.
+func TestFairShareSleeperNoMonopoly(t *testing.T) {
+	k := kernel()
+	f := NewFairShare(k, ms)
+	f.Add("sleeper", 10*ms, 1, sleeperThenHog(500*ms))
+	f.Add("steady", 10*ms, 1, hog())
+
+	f.RunUntil(500 * ms)
+	st1, _ := f.Stats("steady")
+	f.RunUntil(600 * ms)
+	st2, _ := f.Stats("steady")
+
+	got := st2.UsedTicks - st1.UsedTicks
+	if got < 30*ms {
+		t.Errorf("steady task got %v of the 100ms post-wake window; sleeper monopolized the CPU", got)
+	}
+	sl, _ := f.Stats("sleeper")
+	if sl.UsedTicks < 30*ms {
+		t.Errorf("woken sleeper got only %v; want a fair share of the post-wake window", sl.UsedTicks)
+	}
+}
+
+// TestCFSSleeperNoMonopoly: same contract for the vruntime scheduler.
+func TestCFSSleeperNoMonopoly(t *testing.T) {
+	k := kernel()
+	c := NewCFS(k, ms)
+	c.Add("sleeper", 10*ms, 1, sleeperThenHog(500*ms))
+	c.Add("steady", 10*ms, 1, hog())
+	f1 := 500 * ms
+	c.RunUntil(f1)
+	st1, _ := c.Stats("steady")
+	c.RunUntil(600 * ms)
+	st2, _ := c.Stats("steady")
+	if got := st2.UsedTicks - st1.UsedTicks; got < 30*ms {
+		t.Errorf("steady task got %v of the post-wake window under CFS", got)
+	}
+}
+
+// TestCFSWeightedFairness: vruntime weighting holds a 2:1 split.
+func TestCFSWeightedFairness(t *testing.T) {
+	k := kernel()
+	c := NewCFS(k, ms)
+	c.Add("heavy", 600*ms, 2, hog())
+	c.Add("light", 600*ms, 1, hog())
+	c.RunUntil(600 * ms)
+	h, _ := c.Stats("heavy")
+	l, _ := c.Stats("light")
+	ratio := float64(h.UsedTicks) / float64(l.UsedTicks)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("CFS 2:1 weights gave ratio %.2f (heavy %v, light %v)", ratio, h.UsedTicks, l.UsedTicks)
+	}
+}
+
+// TestLotteryDeterministicReplay: same seed, same schedule — the
+// draws come from a named SplitSeed substream of the run seed.
+func TestLotteryDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) (ticks.Ticks, ticks.Ticks) {
+		k := kernel()
+		l := NewLottery(k, ms, seed)
+		l.Add("a", ticks.PerSecond, 3, hog())
+		l.Add("b", ticks.PerSecond, 1, hog())
+		l.RunUntil(ticks.PerSecond)
+		a, _ := l.Stats("a")
+		b, _ := l.Stats("b")
+		return a.UsedTicks, b.UsedTicks
+	}
+	a1, b1 := run(42)
+	a2, b2 := run(42)
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("same-seed lottery runs diverged: (%v,%v) vs (%v,%v)", a1, b1, a2, b2)
+	}
+	// 3:1 tickets over 1000 quanta: expect roughly 750/250.
+	ratio := float64(a1) / float64(b1)
+	if ratio < 2.2 || ratio > 4.2 {
+		t.Errorf("lottery 3:1 tickets gave ratio %.2f (a %v, b %v)", ratio, a1, b1)
+	}
+}
+
+// TestComparatorsLoseFramesInOverload extends the §3.5 discrimination
+// to the whole family: under 120% load every proportional-share
+// scheduler loses MPEG frames by accident of timing; the RD (see
+// TestMPEGQualityAcrossSchedulers) loses none.
+func TestComparatorsLoseFramesInOverload(t *testing.T) {
+	type sched interface {
+		Add(name string, period ticks.Ticks, weight int64, body task.Body)
+		RunUntil(limit ticks.Ticks)
+		Stats(name string) (Stats, bool)
+	}
+	builds := map[string]func() sched{
+		"lottery": func() sched { return NewLottery(kernel(), ms, 7) },
+		"stride":  func() sched { return NewStride(kernel(), ms) },
+		"cfs":     func() sched { return NewCFS(kernel(), ms) },
+	}
+	for name, build := range builds {
+		s := build()
+		mpeg := workload.NewMPEG()
+		s.Add("mpeg", 900_000, 1, mpeg)
+		for _, n := range []string{"w1", "w2", "w3"} {
+			s.Add(n, 10*ms, 1, task.PeriodicWork(3*ms))
+		}
+		s.RunUntil(2 * ticks.PerSecond)
+		mpeg.Flush()
+		st := mpeg.Stats()
+		if st.UnplannedLoss == 0 {
+			t.Errorf("%s: no unplanned frame loss in 120%% overload: %s", name, st.QualityString())
+		}
+	}
+}
+
+// TestPropShareTelemetry: the family's instruments fire through the
+// shared seam.
+func TestPropShareTelemetry(t *testing.T) {
+	k := kernel()
+	set := &telemetry.Set{Registry: telemetry.NewRegistry()}
+	l := NewLottery(k, ms, 11)
+	l.Instrument(set)
+	l.Add("a", 10*ms, 2, task.PeriodicWork(2*ms))
+	l.Add("b", 10*ms, 1, task.PeriodicWork(2*ms))
+	l.RunUntil(100 * ms)
+	counters := make(map[string]int64)
+	for _, c := range set.Reg().Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["baseline.dispatch.slices"] == 0 {
+		t.Error("no dispatch slices recorded")
+	}
+	if counters["baseline.lottery.draws"] == 0 {
+		t.Error("no lottery draws recorded")
+	}
+	if counters["baseline.period.completed"] == 0 {
+		t.Error("no completed periods recorded")
+	}
+}

@@ -1,0 +1,150 @@
+package streamer
+
+import "sort"
+
+// Demand is one channel's bandwidth request as the allocator sees it,
+// in the engine's deterministic open order.
+type Demand struct {
+	Name    string
+	MBps    int64 // requested rate
+	Quality int64 // scenario-defined value of serving this channel
+}
+
+// Allocator divides streamer capacity among channel demands. The
+// returned slice is positional: rates[i] is the grant for demands[i],
+// 0 (or a short slice) meaning stalled. Implementations must be pure
+// functions of (totalMBps, demands) — the engine calls them from
+// deterministic simulation context and the sweep relies on
+// byte-identical replays.
+type Allocator interface {
+	Name() string
+	Allocate(totalMBps int64, demands []Demand) []int64
+}
+
+// Metered is the RD's first-come-first-served reservation policy as
+// an Allocator: grants in open order until capacity runs out, later
+// channels starve. This is what New()'s hard reservations degrade to
+// when demand exceeds capacity.
+type Metered struct{}
+
+// Name implements Allocator.
+func (Metered) Name() string { return "metered" }
+
+// Allocate implements Allocator.
+func (Metered) Allocate(totalMBps int64, demands []Demand) []int64 {
+	out := make([]int64, len(demands))
+	remaining := totalMBps
+	for i, d := range demands {
+		g := d.MBps
+		if g < 0 {
+			g = 0
+		}
+		if g > remaining {
+			g = remaining
+		}
+		out[i] = g
+		remaining -= g
+	}
+	return out
+}
+
+// MaxMinFair is progressive water-filling: capacity is leveled up in
+// equal shares, channels whose demand is met drop out and their
+// surplus is redistributed, until capacity or demand is exhausted.
+// No channel can raise its grant except by lowering a smaller one —
+// the classic fairness criterion. Integer arithmetic; sub-share
+// remainders go one MB/s at a time in open order.
+type MaxMinFair struct{}
+
+// Name implements Allocator.
+func (MaxMinFair) Name() string { return "maxmin" }
+
+// Allocate implements Allocator.
+func (MaxMinFair) Allocate(totalMBps int64, demands []Demand) []int64 {
+	out := make([]int64, len(demands))
+	remaining := totalMBps
+	unsat := make([]int, 0, len(demands))
+	for i, d := range demands {
+		if d.MBps > 0 {
+			unsat = append(unsat, i)
+		}
+	}
+	for len(unsat) > 0 && remaining > 0 {
+		share := remaining / int64(len(unsat))
+		if share == 0 {
+			// Fewer whole units than claimants: one each, open order.
+			for _, i := range unsat {
+				if remaining == 0 {
+					break
+				}
+				out[i]++
+				remaining--
+			}
+			break
+		}
+		satisfied := false
+		next := unsat[:0]
+		for _, i := range unsat {
+			if need := demands[i].MBps - out[i]; need <= share {
+				out[i] += need
+				remaining -= need
+				satisfied = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		unsat = next
+		if !satisfied {
+			// Everyone needs more than the equal share: level up and
+			// spread the remainder, then stop — demands all exceed
+			// what is left.
+			for _, i := range unsat {
+				out[i] += share
+				remaining -= share
+			}
+			for _, i := range unsat {
+				if remaining == 0 {
+					break
+				}
+				out[i]++
+				remaining--
+			}
+			break
+		}
+	}
+	return out
+}
+
+// MaxThroughput grants the highest-quality channels their full demand
+// first — the greedy maximum-value schedule. Ties break by open
+// order, so the result is deterministic. Low-quality channels starve
+// under contention; that is the point of the comparison.
+type MaxThroughput struct{}
+
+// Name implements Allocator.
+func (MaxThroughput) Name() string { return "maxthru" }
+
+// Allocate implements Allocator.
+func (MaxThroughput) Allocate(totalMBps int64, demands []Demand) []int64 {
+	out := make([]int64, len(demands))
+	idx := make([]int, len(demands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return demands[idx[a]].Quality > demands[idx[b]].Quality
+	})
+	remaining := totalMBps
+	for _, i := range idx {
+		g := demands[i].MBps
+		if g < 0 {
+			g = 0
+		}
+		if g > remaining {
+			g = remaining
+		}
+		out[i] = g
+		remaining -= g
+	}
+	return out
+}

@@ -10,10 +10,20 @@
 // in-flight transfers finish at the new rate — the DMA analogue of a
 // CPU grant changing at a period boundary.
 //
-// Bandwidth accounting is per-channel and deliberately simple: each
-// channel moves data at its own granted rate, independent of the
-// others (the hardware is multi-ported; admission has already
-// ensured the rates sum within the part's capacity).
+// Two allocation modes exist (alloc.go):
+//
+//   - Metered (New): the RD's model. Rates are hard reservations;
+//     opening or re-rating beyond capacity fails. Channels never
+//     interact.
+//
+//   - Policy-driven (NewAllocated): channels declare demands and an
+//     Allocator divides capacity among them — max-min fair,
+//     maximum-throughput, or the metered FCFS policy as comparators
+//     for the contended-streamer scenarios.
+//
+// Progress is tracked exactly in byte·27 units (one tick moves `mbps`
+// units), so a transfer re-rated arbitrarily often still completes
+// within one tick of the ideal time and BusyTicks cannot drift.
 package streamer
 
 import (
@@ -21,6 +31,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -30,12 +41,30 @@ type Engine struct {
 	totalMBps int64
 	allocated int64
 	channels  map[string]*Channel
+	// order is the channels in open order — the deterministic
+	// iteration the allocator sees (the map is lookup-only).
+	order []*Channel
+	// alloc, when non-nil, puts the engine in policy-driven mode:
+	// channel rates are computed by the allocator over declared
+	// demands instead of being hard reservations.
+	alloc Allocator
+	tel   streamTelemetry
+}
+
+// streamTelemetry holds the engine's pre-registered instrument
+// handles; the zero value records nothing.
+type streamTelemetry struct {
+	transfers   *telemetry.Counter
+	bytes       *telemetry.Counter
+	reallocs    *telemetry.Counter
+	allocatedBW *telemetry.Gauge
 }
 
 // ErrBandwidth is returned when channel rates would exceed capacity.
 var ErrBandwidth = errors.New("streamer: bandwidth capacity exceeded")
 
-// New builds an engine with the given total bandwidth in MB/s.
+// New builds a metered engine with the given total bandwidth in MB/s:
+// rates are hard per-channel reservations, the RD model.
 func New(k *sim.Kernel, totalMBps int64) *Engine {
 	if totalMBps <= 0 {
 		panic("streamer: need positive capacity")
@@ -43,11 +72,42 @@ func New(k *sim.Kernel, totalMBps int64) *Engine {
 	return &Engine{k: k, totalMBps: totalMBps, channels: make(map[string]*Channel)}
 }
 
-// Capacity reports total and allocated bandwidth.
+// NewAllocated builds a policy-driven engine: channels declare
+// demands and alloc divides the capacity. Open never fails for lack
+// of bandwidth — a channel may simply be granted less than it asked
+// for (down to a stalled zero).
+func NewAllocated(k *sim.Kernel, totalMBps int64, alloc Allocator) *Engine {
+	e := New(k, totalMBps)
+	if alloc == nil {
+		alloc = Metered{}
+	}
+	e.alloc = alloc
+	return e
+}
+
+// Instrument pre-registers the engine's instruments in t's registry.
+// A nil Set leaves every handle nil and the engine silent.
+func (e *Engine) Instrument(t *telemetry.Set) {
+	r := t.Reg()
+	e.tel = streamTelemetry{
+		transfers:   r.Counter("streamer.transfers"),
+		bytes:       r.Counter("streamer.bytes"),
+		reallocs:    r.Counter("streamer.reallocations"),
+		allocatedBW: r.Gauge("streamer.allocated_mbps"),
+	}
+	e.tel.allocatedBW.Set(e.allocated)
+}
+
+// Capacity reports total and currently allocated bandwidth.
 func (e *Engine) Capacity() (total, allocated int64) { return e.totalMBps, e.allocated }
 
-// Open creates a channel at the given rate. Rates are reserved:
-// opening fails if the sum would exceed capacity.
+// Allocator reports the engine's allocation policy, nil in metered
+// mode.
+func (e *Engine) Allocator() Allocator { return e.alloc }
+
+// Open creates a channel. In metered mode the rate is reserved and
+// opening fails if the sum would exceed capacity; in policy-driven
+// mode the rate is a demand and the allocator decides the grant.
 func (e *Engine) Open(name string, mbps int64) (*Channel, error) {
 	if mbps <= 0 {
 		return nil, fmt.Errorf("streamer: channel %q needs a positive rate", name)
@@ -55,21 +115,73 @@ func (e *Engine) Open(name string, mbps int64) (*Channel, error) {
 	if _, dup := e.channels[name]; dup {
 		return nil, fmt.Errorf("streamer: channel %q already open", name)
 	}
-	if e.allocated+mbps > e.totalMBps {
-		return nil, fmt.Errorf("%w: %d + %d > %d MB/s", ErrBandwidth, e.allocated, mbps, e.totalMBps)
+	c := &Channel{engine: e, name: name, demand: mbps, quality: 1}
+	if e.alloc == nil {
+		if e.allocated+mbps > e.totalMBps {
+			return nil, fmt.Errorf("%w: %d + %d > %d MB/s", ErrBandwidth, e.allocated, mbps, e.totalMBps)
+		}
+		c.mbps = mbps
+		e.allocated += mbps
+		e.tel.allocatedBW.Set(e.allocated)
 	}
-	c := &Channel{engine: e, name: name, mbps: mbps}
 	e.channels[name] = c
-	e.allocated += mbps
+	e.order = append(e.order, c)
+	if e.alloc != nil {
+		e.reallocate()
+	}
 	return c, nil
 }
 
-// Channel is one DMA channel with a reserved rate.
+// OpenQuality creates a channel with an explicit quality score for
+// quality-aware allocators (MaxThroughput grants high-quality
+// channels first). In metered mode quality is recorded but unused.
+func (e *Engine) OpenQuality(name string, mbps, quality int64) (*Channel, error) {
+	c, err := e.Open(name, mbps)
+	if err != nil {
+		return nil, err
+	}
+	c.quality = quality
+	if e.alloc != nil {
+		e.reallocate()
+	}
+	return c, nil
+}
+
+// reallocate recomputes every channel's rate from the declared
+// demands, in open order, and re-rates in-flight transfers.
+func (e *Engine) reallocate() {
+	demands := make([]Demand, len(e.order))
+	for i, c := range e.order {
+		demands[i] = Demand{Name: c.name, MBps: c.demand, Quality: c.quality}
+	}
+	rates := e.alloc.Allocate(e.totalMBps, demands)
+	var sum int64
+	for i, c := range e.order {
+		var r int64
+		if i < len(rates) {
+			r = rates[i]
+		}
+		if r < 0 {
+			r = 0
+		}
+		if r != c.mbps {
+			c.rerate(r)
+		}
+		sum += r
+	}
+	e.allocated = sum
+	e.tel.reallocs.Inc()
+	e.tel.allocatedBW.Set(e.allocated)
+}
+
+// Channel is one DMA channel.
 type Channel struct {
-	engine *Engine
-	name   string
-	mbps   int64
-	closed bool
+	engine  *Engine
+	name    string
+	mbps    int64 // granted rate; may be 0 (stalled) in policy mode
+	demand  int64 // requested rate (== mbps in metered mode)
+	quality int64
+	closed  bool
 
 	// In-flight transfer, if any (channels are FIFO: one transfer
 	// moves at a time per channel; more queue behind it).
@@ -87,19 +199,23 @@ type ChannelStats struct {
 
 // Transfer is one queued DMA operation.
 type Transfer struct {
-	bytes     int64
-	remaining int64 // bytes still to move
-	onDone    func()
-	event     sim.EventRef
-	started   ticks.Ticks
-	ch        *Channel
+	bytes   int64
+	rem27   int64 // exact progress: byte·27 units still to move
+	onDone  func()
+	event   sim.EventRef
+	started ticks.Ticks
+	running bool
+	ch      *Channel
 }
 
 // Name reports the channel name.
 func (c *Channel) Name() string { return c.name }
 
-// Rate reports the channel's current rate in MB/s.
+// Rate reports the channel's current granted rate in MB/s.
 func (c *Channel) Rate() int64 { return c.mbps }
+
+// Demand reports the channel's requested rate in MB/s.
+func (c *Channel) Demand() int64 { return c.demand }
 
 // Stats reports the channel accounting.
 func (c *Channel) Stats() ChannelStats { return c.stats }
@@ -107,13 +223,13 @@ func (c *Channel) Stats() ChannelStats { return c.stats }
 // QueueLen reports queued transfers, including the in-flight one.
 func (c *Channel) QueueLen() int { return len(c.queue) }
 
-// ticksFor converts bytes at mbps (1 MB/s = 1e6 bytes/s) to ticks.
-func ticksFor(bytes, mbps int64) ticks.Ticks {
-	if bytes <= 0 {
+// ticksFor27 converts rem27 byte·27 units at mbps to ticks: one tick
+// moves mbps units (1 MB/s = 1e6 B/s = 1e6·27 units / 27e6 ticks).
+func ticksFor27(rem27, mbps int64) ticks.Ticks {
+	if rem27 <= 0 {
 		return 0
 	}
-	// ticks = bytes / (mbps*1e6 B/s) * 27e6 ticks/s = bytes*27/mbps.
-	t := (bytes*27 + mbps - 1) / mbps
+	t := (rem27 + mbps - 1) / mbps
 	if t < 1 {
 		t = 1
 	}
@@ -130,7 +246,7 @@ func (c *Channel) Submit(bytes int64, onDone func()) error {
 	if bytes <= 0 {
 		return fmt.Errorf("streamer: transfer needs positive size, got %d", bytes)
 	}
-	t := &Transfer{bytes: bytes, remaining: bytes, onDone: onDone, ch: c}
+	t := &Transfer{bytes: bytes, rem27: bytes * 27, onDone: onDone, ch: c}
 	c.queue = append(c.queue, t)
 	if len(c.queue) == 1 {
 		c.start(t)
@@ -138,17 +254,47 @@ func (c *Channel) Submit(bytes int64, onDone func()) error {
 	return nil
 }
 
+// start arms the completion event for t at the channel's current
+// rate. A zero rate stalls the transfer: no event, and progress
+// resumes when a reallocation raises the rate again.
 func (c *Channel) start(t *Transfer) {
+	if c.mbps <= 0 {
+		t.running = false
+		return
+	}
 	t.started = c.engine.k.Now()
-	d := ticksFor(t.remaining, c.mbps)
-	t.event = c.engine.k.After(d, func() { c.complete(t) })
+	t.running = true
+	t.event = c.engine.k.After(ticksFor27(t.rem27, c.mbps), func() { c.complete(t) })
+}
+
+// pause accounts t's progress at the current rate and disarms its
+// completion event. Exact: elapsed ticks move elapsed·mbps byte·27
+// units, no rounding.
+func (c *Channel) pause(t *Transfer) {
+	if !t.running {
+		return
+	}
+	now := c.engine.k.Now()
+	elapsed := now - t.started
+	moved := int64(elapsed) * c.mbps
+	if moved > t.rem27 {
+		moved = t.rem27
+	}
+	t.rem27 -= moved
+	c.stats.BusyTicks += elapsed
+	c.engine.k.Cancel(t.event)
+	t.running = false
 }
 
 func (c *Channel) complete(t *Transfer) {
 	now := c.engine.k.Now()
+	t.rem27 = 0
+	t.running = false
 	c.stats.Transfers++
 	c.stats.Bytes += t.bytes
 	c.stats.BusyTicks += now - t.started
+	c.engine.tel.transfers.Inc()
+	c.engine.tel.bytes.Add(t.bytes)
 	c.queue = c.queue[1:]
 	if len(c.queue) > 0 {
 		c.start(c.queue[0])
@@ -158,10 +304,25 @@ func (c *Channel) complete(t *Transfer) {
 	}
 }
 
-// SetRate re-rates the channel (a grant change). The in-flight
-// transfer's remaining bytes finish at the new rate; queued transfers
-// inherit it. The reservation against engine capacity is adjusted;
-// increases can fail.
+// rerate switches the channel to a new granted rate, pausing and
+// restarting the in-flight transfer so its remaining bytes finish at
+// the new rate.
+func (c *Channel) rerate(mbps int64) {
+	if len(c.queue) > 0 {
+		t := c.queue[0]
+		c.pause(t)
+		c.mbps = mbps
+		c.start(t)
+	} else {
+		c.mbps = mbps
+	}
+}
+
+// SetRate re-rates the channel (a grant change). In metered mode the
+// reservation against engine capacity is adjusted and increases can
+// fail; in policy-driven mode this updates the channel's demand and
+// triggers a reallocation (which cannot fail — the grant may just be
+// smaller than asked).
 func (c *Channel) SetRate(mbps int64) error {
 	if c.closed {
 		return fmt.Errorf("streamer: channel %q is closed", c.name)
@@ -169,42 +330,46 @@ func (c *Channel) SetRate(mbps int64) error {
 	if mbps <= 0 {
 		return fmt.Errorf("streamer: rate must be positive, got %d", mbps)
 	}
+	if c.engine.alloc != nil {
+		c.demand = mbps
+		c.engine.reallocate()
+		return nil
+	}
 	delta := mbps - c.mbps
 	if delta > 0 && c.engine.allocated+delta > c.engine.totalMBps {
 		return fmt.Errorf("%w: re-rate %q to %d MB/s", ErrBandwidth, c.name, mbps)
 	}
-	if len(c.queue) > 0 {
-		t := c.queue[0]
-		// Account progress at the old rate, then restart the rest.
-		now := c.engine.k.Now()
-		elapsed := now - t.started
-		moved := int64(elapsed) * c.mbps / 27
-		if moved > t.remaining {
-			moved = t.remaining
-		}
-		t.remaining -= moved
-		c.stats.BusyTicks += elapsed
-		c.engine.k.Cancel(t.event)
-		c.mbps = mbps
-		c.start(t)
-	} else {
-		c.mbps = mbps
-	}
+	c.rerate(mbps)
+	c.demand = mbps
 	c.engine.allocated += delta
+	c.engine.tel.allocatedBW.Set(c.engine.allocated)
 	return nil
 }
 
-// Close releases the channel's reservation. Queued transfers are
-// dropped without completion callbacks.
+// Close releases the channel. Queued transfers are dropped without
+// completion callbacks — an in-flight transfer's onDone never fires.
+// In policy-driven mode the freed bandwidth is redistributed.
 func (c *Channel) Close() {
 	if c.closed {
 		return
 	}
-	if len(c.queue) > 0 {
+	if len(c.queue) > 0 && c.queue[0].running {
 		c.engine.k.Cancel(c.queue[0].event)
 	}
 	c.queue = nil
 	c.closed = true
-	c.engine.allocated -= c.mbps
-	delete(c.engine.channels, c.name)
+	e := c.engine
+	delete(e.channels, c.name)
+	for i, o := range e.order {
+		if o == c {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	if e.alloc != nil {
+		e.reallocate()
+	} else {
+		e.allocated -= c.mbps
+		e.tel.allocatedBW.Set(e.allocated)
+	}
 }

@@ -26,18 +26,30 @@ import (
 // fault-* scenario.
 const FaultFamily = "fault"
 
+// scenarioFamilies lists the matrix names that expand to every
+// scenario sharing the "<family>-" prefix.
+var scenarioFamilies = []string{FaultFamily, BaselineFamily}
+
 // expandFamilies replaces family names in a scenario list with their
 // members, preserving order. Unknown names pass through untouched so
 // Specs still reports them precisely.
 func expandFamilies(names []string) []string {
 	out := make([]string, 0, len(names))
 	for _, n := range names {
-		if n != FaultFamily {
+		fam := false
+		for _, f := range scenarioFamilies {
+			if n == f {
+				fam = true
+				break
+			}
+		}
+		if !fam {
 			out = append(out, n)
 			continue
 		}
+		prefix := n + "-"
 		for _, sc := range scenarios {
-			if len(sc.Name) > len(FaultFamily) && sc.Name[:len(FaultFamily)+1] == FaultFamily+"-" {
+			if len(sc.Name) > len(prefix) && sc.Name[:len(prefix)] == prefix {
 				out = append(out, sc.Name)
 			}
 		}

@@ -37,7 +37,10 @@ type Cell struct {
 	Denied         int64
 	FaultsInjected int64 // fault events fired by armed injectors
 
+	StreamerBytes  int64 // DMA payload completed, summed over runs
+
 	Misses         metrics.Summary // deadline misses per run
+	Completed      metrics.Summary // completed periods per run (comparator family)
 	LossRate       metrics.Summary // unplanned loss / opportunities per run
 	Utilization    metrics.Summary
 	SwitchOverhead metrics.Summary
@@ -81,7 +84,9 @@ func (c *Cell) add(spec RunSpec, r RunMetrics) {
 	c.Telemetry.Merge(r.Telemetry)
 	c.Denied += r.Denied
 	c.FaultsInjected += r.FaultsInjected
+	c.StreamerBytes += r.StreamerBytes
 	c.Misses.Add(float64(r.Misses))
+	c.Completed.Add(float64(r.CompletedPeriods))
 	c.LossRate.Add(r.LossRate())
 	c.Utilization.Add(r.Utilization)
 	c.SwitchOverhead.Add(r.SwitchOverhead)
@@ -108,7 +113,9 @@ func (c *Cell) merge(o *Cell) {
 		c.firstSeed, c.firstHorizon, c.seeded = o.firstSeed, o.firstHorizon, true
 	}
 	c.Telemetry.Merge(o.Telemetry)
+	c.StreamerBytes += o.StreamerBytes
 	c.Misses.Merge(&o.Misses)
+	c.Completed.Merge(&o.Completed)
 	c.LossRate.Merge(&o.LossRate)
 	c.Utilization.Merge(&o.Utilization)
 	c.SwitchOverhead.Merge(&o.SwitchOverhead)
@@ -210,7 +217,9 @@ func (r *Result) Table() string {
 // JSON schema version tag; bump on incompatible changes.
 // v2 added invariant_violations, degradations and faults_injected.
 // v3 added the per-cell rdtel/v1 telemetry manifest.
-const SchemaVersion = "rdsweep/v3"
+// v4 added completed_periods and streamer_bytes for the baseline-*
+// comparator family.
+const SchemaVersion = "rdsweep/v4"
 
 type summaryJSON struct {
 	N      int     `json:"n"`
@@ -252,8 +261,10 @@ type cellJSON struct {
 	FirstError     string `json:"first_error,omitempty"`
 	Denied         int64  `json:"denied_admissions"`
 	FaultsInjected int64  `json:"faults_injected"`
+	StreamerBytes  int64  `json:"streamer_bytes"`
 
 	Misses         summaryJSON `json:"misses_per_run"`
+	Completed      summaryJSON `json:"completed_periods"`
 	LossRate       summaryJSON `json:"unplanned_loss_rate"`
 	Utilization    summaryJSON `json:"utilization"`
 	SwitchOverhead summaryJSON `json:"switch_overhead"`
@@ -290,7 +301,9 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			FirstError:     c.FirstError,
 			Denied:         c.Denied,
 			FaultsInjected: c.FaultsInjected,
+			StreamerBytes:  c.StreamerBytes,
 			Misses:         summarize(&c.Misses),
+			Completed:      summarize(&c.Completed),
 			LossRate:       summarize(&c.LossRate),
 			Utilization:    summarize(&c.Utilization),
 			SwitchOverhead: summarize(&c.SwitchOverhead),

@@ -44,9 +44,13 @@ const (
 	PolicyVideoFirst = "video-first"
 )
 
-// AllPolicies lists every policy variant, in matrix-expansion order.
+// AllPolicies lists every policy variant, in matrix-expansion order:
+// the RD policy variants first, then the baseline-* comparator axis
+// and the streamer allocation policies (baselines.go).
 func AllPolicies() []string {
-	return []string{PolicyInvent, PolicyAudioFirst, PolicyVideoFirst}
+	return []string{PolicyInvent, PolicyAudioFirst, PolicyVideoFirst,
+		PolicyBaselineFairShare, PolicyBaselineLottery, PolicyBaselineStride, PolicyBaselineCFS,
+		PolicyStreamerMaxMin, PolicyStreamerMaxThru}
 }
 
 func knownPolicy(name string) bool {
@@ -168,6 +172,10 @@ type env struct {
 	admits []admitRec
 	denied int64
 
+	// k is set instead of d by comparator scenarios that run a bare
+	// kernel under a baseline scheduler, with no Distributor at all.
+	k *sim.Kernel
+
 	// chk, when armed via withInvariants, rides the observer chain and
 	// audits the paper's guarantees during the run; runOne finalizes it
 	// and folds its violation count into the metrics.
@@ -209,6 +217,16 @@ func (e *env) start(cfg core.Config) *core.Distributor {
 		e.chk.EnableTelemetry(e.tel)
 	}
 	return e.d
+}
+
+// startKernel assembles a bare kernel (plus the run's telemetry set)
+// for comparator scenarios that run a baseline scheduler directly,
+// without a Distributor. Mutually exclusive with start.
+func (e *env) startKernel() *sim.Kernel {
+	e.tel = &telemetry.Set{Registry: telemetry.NewRegistry()}
+	e.k = sim.NewKernel(sim.Config{Seed: e.spec.Seed, Costs: e.costs})
+	e.k.EnableTelemetry(e.tel.Reg())
+	return e.k
 }
 
 // withInvariants arms the runtime guarantee checker for this run.

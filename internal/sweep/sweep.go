@@ -62,6 +62,14 @@ type RunMetrics struct {
 	// actually fired.
 	FaultsInjected int64
 
+	// CompletedPeriods counts periods whose work finished on time —
+	// the comparator family's headline figure alongside Misses (RD
+	// scenarios leave it 0; their quality channel is Loss).
+	CompletedPeriods int64
+	// StreamerBytes is the total DMA payload the run's streamer
+	// channels completed, for the contended-streamer scenarios.
+	StreamerBytes int64
+
 	AdmissionMS []float64 // admittance→first period, per admitted task, ms
 
 	// Telemetry is the run's frozen instrument registry; cells merge
@@ -256,15 +264,21 @@ func runOne(spec RunSpec) (out RunMetrics) {
 	if err := sc.run(e); err != nil {
 		return RunMetrics{Err: err.Error()}
 	}
-	if e.d == nil {
+	// A scenario either builds a Distributor (e.d) or runs a baseline
+	// comparator on a bare kernel (e.k).
+	k := e.k
+	if e.d != nil {
+		k = e.d.Kernel()
+	}
+	if k == nil {
 		return RunMetrics{Err: "scenario never started a distributor"}
 	}
-	if info, ok := e.d.Kernel().Stalled(); ok {
+	if info, ok := k.Stalled(); ok {
 		return RunMetrics{Err: fmt.Sprintf(
 			"kernel livelock guard tripped at t=%d after %d same-tick events", int64(info.At), info.Events)}
 	}
 
-	st := e.d.KernelStats()
+	st := k.Stats()
 	out.Misses = e.pr.misses
 	out.Denied = e.denied
 	out.Utilization = st.Utilization()
@@ -275,7 +289,9 @@ func runOne(spec RunSpec) (out RunMetrics) {
 		e.chk.Finish()
 		out.Violations = int64(len(e.chk.Violations()))
 	}
-	out.Degradations = int64(len(e.d.Manager().DegradationEvents()))
+	if e.d != nil {
+		out.Degradations = int64(len(e.d.Manager().DegradationEvents()))
+	}
 	out.FaultsInjected = int64(e.flog.KindPrefixCount("fault."))
 	out.Telemetry = e.tel.Reg().Snapshot()
 	if e.quality != nil {
