@@ -6,7 +6,7 @@ GO ?= go
 BENCH_REGEX = KernelStep|PeriodRollover|SweepCell|Table2MPEGDecodeSecond|BenchmarkEventQueue$$|SchedulerSteadyState
 BENCH_PKGS  = . ./internal/sim ./internal/sched ./internal/sweep
 
-.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke baseline-smoke bench bench-smoke telemetry-smoke telemetry-golden ci
+.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke baseline-smoke fleet-smoke bench bench-smoke telemetry-smoke telemetry-golden ci
 
 all: build test lint
 
@@ -81,6 +81,21 @@ baseline-smoke:
 	cmp baseline-w4.json baseline-w1.json
 	rm -f baseline-w4.json baseline-w1.json
 
+# Fleet-family smoke (see docs/FAULTS.md "fleet failure semantics"):
+# the multi-node cluster suite under the race detector — including
+# the cluster's own worker-invariance and crash-conservation tests —
+# then the fleet scenario family (node crashes, correlated storms,
+# spillover/retry/migration) through rdsweep on 4 workers and on 1,
+# asserting byte-identical JSON. Both worker pools are in play here:
+# the sweep's run pool and each cluster's node pool must leave no
+# fingerprint on the aggregates.
+fleet-smoke:
+	$(GO) test -race -count=1 ./internal/fleet/...
+	$(GO) run -race ./cmd/rdsweep -scenarios fleet -seeds 4 -workers 4 -horizon-ms 500 -quiet -json fleet-w4.json
+	$(GO) run -race ./cmd/rdsweep -scenarios fleet -seeds 4 -workers 1 -horizon-ms 500 -quiet -json fleet-w1.json
+	cmp fleet-w4.json fleet-w1.json
+	rm -f fleet-w4.json fleet-w1.json
+
 # Telemetry smoke (see docs/OBSERVABILITY.md): the telemetry suite,
 # then a seeded scenario run twice — the rdtel/v1 manifests must be
 # byte-identical — and an export that must pass the Chrome trace-event
@@ -137,4 +152,4 @@ bench-smoke:
 		| $(GO) run ./cmd/rdperf compare -against BENCH_kernel.json -section current \
 			-threshold 15 $(BENCH_GATE) -gate-units allocs/op,B/op
 
-ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke baseline-smoke telemetry-smoke bench-smoke
+ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke baseline-smoke fleet-smoke telemetry-smoke bench-smoke

@@ -10,6 +10,7 @@
 //	go run ./cmd/rdsweep -scenarios settop,overload -costs paper -json sweep.json
 //	go run ./cmd/rdsweep -scenarios fault -seeds 32   # the fault-injection family
 //	go run ./cmd/rdsweep -scenarios baseline -seeds 8 # the §3.4 comparator family
+//	go run ./cmd/rdsweep -scenarios fleet -seeds 8    # the multi-node fleet family
 //	go run ./cmd/rdsweep -list
 package main
 
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		scenariosFlag = flag.String("scenarios", "all", "comma-separated scenario names, 'all', or a family name ('fault', 'baseline') for every member scenario (see -list)")
+		scenariosFlag = flag.String("scenarios", "all", "comma-separated scenario names, 'all', or a family name ('fault', 'baseline', 'fleet') for every member scenario (see -list)")
 		costsFlag     = flag.String("costs", strings.Join(sweep.DefaultCostModels(), ","), "comma-separated switch-cost models, or 'all'")
 		policiesFlag  = flag.String("policies", "all", "comma-separated policy variants, or 'all'")
 		seedsFlag     = flag.Int("seeds", 16, "number of seeds per cell")

@@ -167,6 +167,7 @@ var DeterministicPackages = []string{
 	"repro/internal/streamer",
 	"repro/internal/sweep",
 	"repro/internal/fault",
+	"repro/internal/fleet",
 	"repro/internal/invariant",
 	"repro/internal/telemetry",
 }

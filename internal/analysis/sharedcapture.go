@@ -26,9 +26,10 @@ var SharedCapture = &Analyzer{
 }
 
 // sharedCapturePackages lists the package subtrees where the rule
-// applies: the parallel sweep engine, where scheduling-dependent
-// writes silently change aggregated results.
-var sharedCapturePackages = []string{"repro/internal/sweep"}
+// applies: the parallel sweep engine and the fleet cluster's node
+// worker pool, where scheduling-dependent writes silently change
+// aggregated results.
+var sharedCapturePackages = []string{"repro/internal/sweep", "repro/internal/fleet"}
 
 func runSharedCapture(pass *Pass) error {
 	if !underAny(pass.Pkg.Path(), sharedCapturePackages) {

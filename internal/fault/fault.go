@@ -20,6 +20,7 @@ package fault
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -36,6 +37,13 @@ import (
 // injector.
 const StreamBase = 16
 
+// StreamCrashRestart is the named substream CrashRestart forks (off
+// its positional injector substream) for up/down duration draws, so
+// the crash schedule has its own identity in the stream table
+// (docs/DETERMINISM.md) and the rngstream analyzer can police it
+// fleet-wide like every other allocated stream.
+const StreamCrashRestart = 6
+
 // Injector arms one deterministic fault against an assembled system.
 // Arm must schedule all of the fault's effects (via d.At and the
 // system's public interfaces) and return; it must not block, panic, or
@@ -43,6 +51,10 @@ const StreamBase = 16
 type Injector interface {
 	// Name identifies the injector in logs and scenario tables.
 	Name() string
+	// Validate checks the spec before arming. Zero or negative
+	// periods, counts and intervals would otherwise degenerate into
+	// silent no-ops or same-tick timer loops; they are spec errors.
+	Validate() error
 	// Arm schedules the fault's effects on d. rng is the injector's
 	// private substream; log receives one "fault.*" event per
 	// injection at the virtual time it takes effect.
@@ -52,8 +64,15 @@ type Injector interface {
 // ArmAll arms each injector with its own substream of seed: injector i
 // draws from sim.SplitSeed(seed, StreamBase+i). The substream
 // assignment depends only on position, so a scenario's injector list
-// is part of its deterministic identity.
-func ArmAll(d *core.Distributor, seed uint64, log *metrics.EventLog, injs ...Injector) {
+// is part of its deterministic identity. Every spec is validated
+// before anything is armed: a bad spec arms nothing and returns an
+// error instead of burying a degenerate injector in the run.
+func ArmAll(d *core.Distributor, seed uint64, log *metrics.EventLog, injs ...Injector) error {
+	for i, inj := range injs {
+		if err := inj.Validate(); err != nil {
+			return fmt.Errorf("fault: injector %d (%s): %w", i, inj.Name(), err)
+		}
+	}
 	for i, inj := range injs {
 		rng := sim.NewRNG(sim.SplitSeed(seed, StreamBase+uint64(i)))
 		if t := d.Telemetry(); t != nil {
@@ -61,6 +80,28 @@ func ArmAll(d *core.Distributor, seed uint64, log *metrics.EventLog, injs ...Inj
 		}
 		inj.Arm(d, rng, log)
 	}
+	return nil
+}
+
+// taskSpecErr validates the (name, period, cpu, at) quad shared by
+// the task-shaped injectors.
+func taskSpecErr(name string, period, cpu, at ticks.Ticks) error {
+	if name == "" {
+		return errors.New("task name is required")
+	}
+	if period <= 0 {
+		return fmt.Errorf("period %d must be positive", int64(period))
+	}
+	if cpu <= 0 {
+		return fmt.Errorf("cpu %d must be positive", int64(cpu))
+	}
+	if cpu > period {
+		return fmt.Errorf("cpu %d exceeds period %d", int64(cpu), int64(period))
+	}
+	if at < 0 {
+		return fmt.Errorf("arm time %d must not be negative", int64(at))
+	}
+	return nil
 }
 
 // record writes one fault event to the log and mirrors it into the
@@ -89,6 +130,10 @@ type Overrun struct {
 }
 
 func (o Overrun) Name() string { return "overrun" }
+
+func (o Overrun) Validate() error {
+	return taskSpecErr(o.TaskName, o.Period, o.CPU, o.At)
+}
 
 func (o Overrun) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventLog) {
 	d.At(o.At, func() {
@@ -142,6 +187,10 @@ type NeverQuiesce struct {
 
 func (n NeverQuiesce) Name() string { return "never-quiesce" }
 
+func (n NeverQuiesce) Validate() error {
+	return taskSpecErr(n.TaskName, n.Period, n.CPU, n.At)
+}
+
 func (n NeverQuiesce) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventLog) {
 	d.At(n.At, func() {
 		id, err := d.RequestAdmittance(&task.Task{
@@ -177,12 +226,31 @@ type CrashRestart struct {
 
 func (c CrashRestart) Name() string { return "crash-restart" }
 
+func (c CrashRestart) Validate() error {
+	if err := taskSpecErr(c.TaskName, c.Period, c.CPU, c.At); err != nil {
+		return err
+	}
+	if c.Cycles < 0 {
+		return fmt.Errorf("cycles %d must not be negative", c.Cycles)
+	}
+	if c.Cycles > 0 && (c.MeanUp <= 0 || c.MeanDown <= 0) {
+		return fmt.Errorf("mean up %d / mean down %d must be positive when cycles > 0",
+			int64(c.MeanUp), int64(c.MeanDown))
+	}
+	return nil
+}
+
 func (c CrashRestart) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventLog) {
+	// Up/down durations come from the named StreamCrashRestart
+	// substream, forked off the positional injector substream: the
+	// schedule stays decorrelated per injector position but has its
+	// own allocated stream identity (docs/DETERMINISM.md).
+	r := sim.NewRNG(sim.SplitSeed(rng.Uint64(), StreamCrashRestart))
 	jitter := func(mean ticks.Ticks) ticks.Ticks {
 		if mean <= 0 {
 			return 1
 		}
-		return mean/2 + ticks.Ticks(rng.Uint64()%uint64(mean))
+		return mean/2 + ticks.Ticks(r.Uint64()%uint64(mean))
 	}
 	// Draw the whole crash schedule at arm time so the substream is
 	// consumed in a fixed order regardless of how the run interleaves.
@@ -250,6 +318,25 @@ type Storm struct {
 
 func (s Storm) Name() string { return "storm" }
 
+func (s Storm) Validate() error {
+	if s.Bursts < 1 {
+		return fmt.Errorf("bursts %d must be at least 1", s.Bursts)
+	}
+	if s.Count < 1 {
+		return fmt.Errorf("count %d must be at least 1", s.Count)
+	}
+	if s.Service <= 0 {
+		return fmt.Errorf("service time %d must be positive", int64(s.Service))
+	}
+	if s.Bursts > 1 && s.Every <= 0 {
+		return fmt.Errorf("every %d must be positive when bursts > 1", int64(s.Every))
+	}
+	if s.At < 0 {
+		return fmt.Errorf("arm time %d must not be negative", int64(s.At))
+	}
+	return nil
+}
+
 func (s Storm) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventLog) {
 	counts := make([]int, s.Bursts)
 	for i := range counts {
@@ -289,6 +376,19 @@ type Jitter struct {
 
 func (j Jitter) Name() string { return "jitter" }
 
+func (j Jitter) Validate() error {
+	if j.At < 0 {
+		return fmt.Errorf("arm time %d must not be negative", int64(j.At))
+	}
+	if j.MaxLate < 0 {
+		return fmt.Errorf("max lateness %d must not be negative", int64(j.MaxLate))
+	}
+	if j.Coalesce < 0 {
+		return fmt.Errorf("coalesce quantum %d must not be negative", int64(j.Coalesce))
+	}
+	return nil
+}
+
 func (j Jitter) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventLog) {
 	f := sim.NewTimerFault(rng.Uint64(), j.MaxLate, j.Coalesce)
 	d.At(j.At, func() {
@@ -311,6 +411,13 @@ type PolicyCorrupt struct {
 }
 
 func (p PolicyCorrupt) Name() string { return "policy-corrupt" }
+
+func (p PolicyCorrupt) Validate() error {
+	if p.At < 0 {
+		return fmt.Errorf("arm time %d must not be negative", int64(p.At))
+	}
+	return nil
+}
 
 func (p PolicyCorrupt) Arm(d *core.Distributor, rng *sim.RNG, log *metrics.EventLog) {
 	d.At(p.At, func() {

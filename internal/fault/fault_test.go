@@ -70,7 +70,7 @@ func TestDormantFaultsPreserveTrace(t *testing.T) {
 		d, _, _ := system(t, 42, 4, rec)
 		if armed {
 			var log metrics.EventLog
-			fault.ArmAll(d, 42, &log, suite(ticks.FromSeconds(10))...)
+			mustArm(t, d, 42, &log, suite(ticks.FromSeconds(10))...)
 		}
 		d.Run(ticks.FromMilliseconds(400))
 		var buf bytes.Buffer
@@ -93,7 +93,7 @@ func TestFaultedRunIsDeterministic(t *testing.T) {
 		d, chk, _ := system(t, 7, 4, rec)
 		var log metrics.EventLog
 		chk.LogTo(&log)
-		fault.ArmAll(d, 7, &log, suite(50*ms)...)
+		mustArm(t, d, 7, &log, suite(50*ms)...)
 		d.Run(ticks.FromMilliseconds(600))
 		chk.Finish()
 		var buf bytes.Buffer
@@ -121,7 +121,7 @@ func TestOverrunIsContained(t *testing.T) {
 	d, chk, ids := system(t, 3, 0, nil)
 	var log metrics.EventLog
 	chk.LogTo(&log)
-	fault.ArmAll(d, 3, &log, fault.Overrun{TaskName: "hog", Period: 15 * ms, CPU: 2 * ms, At: 30 * ms})
+	mustArm(t, d, 3, &log, fault.Overrun{TaskName: "hog", Period: 15 * ms, CPU: 2 * ms, At: 30 * ms})
 	d.Run(ticks.FromMilliseconds(500))
 	chk.Finish()
 
@@ -148,7 +148,7 @@ func TestOverrunIsContained(t *testing.T) {
 func TestNeverQuiesceChargesExceptions(t *testing.T) {
 	d, chk, ids := system(t, 5, 0, nil)
 	var log metrics.EventLog
-	fault.ArmAll(d, 5, &log, fault.NeverQuiesce{TaskName: "zombie", Period: 20 * ms, CPU: 2 * ms, At: 20 * ms})
+	mustArm(t, d, 5, &log, fault.NeverQuiesce{TaskName: "zombie", Period: 20 * ms, CPU: 2 * ms, At: 20 * ms})
 	d.Run(ticks.FromMilliseconds(500))
 	chk.Finish()
 
@@ -182,7 +182,7 @@ func TestCrashRestartLeavesNoDanglingState(t *testing.T) {
 	d, chk, ids := system(t, 9, 0, nil)
 	var log metrics.EventLog
 	chk.LogTo(&log)
-	fault.ArmAll(d, 9, &log, fault.CrashRestart{
+	mustArm(t, d, 9, &log, fault.CrashRestart{
 		TaskName: "flaky", Period: 10 * ms, CPU: 1 * ms, At: 25 * ms,
 		Cycles: 4, MeanUp: 60 * ms, MeanDown: 15 * ms,
 	})
@@ -220,7 +220,7 @@ func TestStormAccountingAndRecordedMisses(t *testing.T) {
 	injected := new(ticks.Ticks)
 	// A violent storm: bursts of multi-millisecond handler slabs, far
 	// beyond the 4% reserve.
-	fault.ArmAll(d, 13, &log, fault.Storm{
+	mustArm(t, d, 13, &log, fault.Storm{
 		At: 40 * ms, Bursts: 6, Every: 50 * ms, Count: 20,
 		Service: 500 * ticks.PerMicrosecond, Injected: injected,
 	})
@@ -260,7 +260,7 @@ func TestStormAccountingAndRecordedMisses(t *testing.T) {
 func TestJitterKeepsStructureIntact(t *testing.T) {
 	d, chk, _ := system(t, 17, 0, nil)
 	var log metrics.EventLog
-	fault.ArmAll(d, 17, &log, fault.Jitter{At: 10 * ms, MaxLate: 100 * ticks.PerMicrosecond, Coalesce: 20 * ticks.PerMicrosecond})
+	mustArm(t, d, 17, &log, fault.Jitter{At: 10 * ms, MaxLate: 100 * ticks.PerMicrosecond, Coalesce: 20 * ticks.PerMicrosecond})
 	d.Run(ticks.FromMilliseconds(400))
 	chk.Finish()
 	if got := log.CountKind("fault.jitter"); got != 1 {
@@ -279,7 +279,7 @@ func TestPolicyCorruptionRejectedAtomically(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		d, _, _ := system(t, seed, 0, nil)
 		var log metrics.EventLog
-		fault.ArmAll(d, seed, &log,
+		mustArm(t, d, seed, &log,
 			fault.PolicyCorrupt{At: 10 * ms},
 			fault.PolicyCorrupt{At: 20 * ms},
 			fault.PolicyCorrupt{At: 30 * ms})
@@ -311,4 +311,113 @@ func renderAll(vs []invariant.Violation) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// mustArm arms injectors, failing the test on a spec error: the
+// injector suites in this file are all well-formed by construction.
+func mustArm(t *testing.T, d *core.Distributor, seed uint64, log *metrics.EventLog, injs ...fault.Injector) {
+	t.Helper()
+	if err := fault.ArmAll(d, seed, log, injs...); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+}
+
+// Degenerate injector specs — zero or negative periods, counts and
+// intervals that would otherwise silently no-op or wedge a timer loop
+// on one tick — must be rejected at arm time, before anything is
+// scheduled.
+func TestInjectorValidationRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		inj  fault.Injector
+	}{
+		{"overrun/zero-period", fault.Overrun{TaskName: "x", Period: 0, CPU: ms, At: 0}},
+		{"overrun/negative-period", fault.Overrun{TaskName: "x", Period: -ms, CPU: ms, At: 0}},
+		{"overrun/zero-cpu", fault.Overrun{TaskName: "x", Period: 10 * ms, CPU: 0, At: 0}},
+		{"overrun/cpu-exceeds-period", fault.Overrun{TaskName: "x", Period: ms, CPU: 2 * ms, At: 0}},
+		{"overrun/negative-at", fault.Overrun{TaskName: "x", Period: 10 * ms, CPU: ms, At: -1}},
+		{"overrun/empty-name", fault.Overrun{Period: 10 * ms, CPU: ms, At: 0}},
+		{"never-quiesce/zero-period", fault.NeverQuiesce{TaskName: "x", Period: 0, CPU: ms}},
+		{"crash-restart/negative-cycles", fault.CrashRestart{TaskName: "x", Period: 10 * ms, CPU: ms, Cycles: -1, MeanUp: ms, MeanDown: ms}},
+		{"crash-restart/zero-mean-up", fault.CrashRestart{TaskName: "x", Period: 10 * ms, CPU: ms, Cycles: 2, MeanUp: 0, MeanDown: ms}},
+		{"crash-restart/zero-mean-down", fault.CrashRestart{TaskName: "x", Period: 10 * ms, CPU: ms, Cycles: 2, MeanUp: ms, MeanDown: 0}},
+		{"storm/zero-bursts", fault.Storm{Bursts: 0, Count: 4, Service: ms, Every: ms}},
+		{"storm/zero-count", fault.Storm{Bursts: 2, Count: 0, Service: ms, Every: ms}},
+		{"storm/zero-service", fault.Storm{Bursts: 2, Count: 4, Service: 0, Every: ms}},
+		{"storm/zero-every-multi-burst", fault.Storm{Bursts: 2, Count: 4, Service: ms, Every: 0}},
+		{"storm/negative-every", fault.Storm{Bursts: 2, Count: 4, Service: ms, Every: -ms}},
+		{"storm/negative-at", fault.Storm{Bursts: 1, Count: 4, Service: ms, At: -1}},
+		{"jitter/negative-lateness", fault.Jitter{MaxLate: -1}},
+		{"jitter/negative-coalesce", fault.Jitter{Coalesce: -1}},
+		{"jitter/negative-at", fault.Jitter{At: -1}},
+		{"policy-corrupt/negative-at", fault.PolicyCorrupt{At: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.inj.Validate(); err == nil {
+				t.Fatalf("Validate accepted a degenerate spec: %+v", tc.inj)
+			}
+			d, _, _ := system(t, 1, 0, nil)
+			var log metrics.EventLog
+			if err := fault.ArmAll(d, 1, &log, tc.inj); err == nil {
+				t.Fatalf("ArmAll armed a degenerate spec: %+v", tc.inj)
+			}
+			if log.N() != 0 {
+				t.Fatalf("rejected spec still logged %d event(s):\n%s", log.N(), log.String())
+			}
+		})
+	}
+}
+
+// A bad spec anywhere in the injector list must keep the whole list
+// unarmed: validation is all-or-nothing, so a run never starts with a
+// half-armed fault plan.
+func TestArmAllIsAllOrNothing(t *testing.T) {
+	d, _, _ := system(t, 1, 0, nil)
+	var log metrics.EventLog
+	err := fault.ArmAll(d, 1, &log,
+		fault.Overrun{TaskName: "ok", Period: 10 * ms, CPU: ms, At: 10 * ms},
+		fault.Storm{Bursts: 0, Count: 4, Service: ms})
+	if err == nil {
+		t.Fatal("ArmAll accepted a list with a degenerate spec")
+	}
+	d.Run(ticks.FromMilliseconds(50))
+	if n := log.KindPrefixCount("fault."); n != 0 {
+		t.Fatalf("rejected list still injected %d fault(s):\n%s", n, log.String())
+	}
+}
+
+// Valid specs must keep validating: the suite used across this file
+// passes, so validation rejects exactly the degenerate shapes.
+func TestInjectorValidationAcceptsSuite(t *testing.T) {
+	for _, inj := range suite(50 * ms) {
+		if err := inj.Validate(); err != nil {
+			t.Errorf("%s: valid spec rejected: %v", inj.Name(), err)
+		}
+	}
+}
+
+// Node-level injector specs get the same treatment at fleet scope.
+func TestNodeInjectorValidationRejectsBadSpecs(t *testing.T) {
+	storm := fault.Storm{Bursts: 2, Count: 4, Service: ms, Every: ms}
+	cases := []struct {
+		name string
+		inj  fault.NodeInjector
+	}{
+		{"node-crash/zero-cycles", fault.NodeCrash{At: 0, Cycles: 0, MeanUp: ms, MeanDown: ms}},
+		{"node-crash/negative-at", fault.NodeCrash{At: -1, Cycles: 1, MeanUp: ms, MeanDown: ms}},
+		{"node-crash/zero-mean-up", fault.NodeCrash{Cycles: 1, MeanUp: 0, MeanDown: ms}},
+		{"node-crash/zero-mean-down", fault.NodeCrash{Cycles: 1, MeanUp: ms, MeanDown: 0}},
+		{"node-storm/bad-storm", fault.NodeStorm{Storm: fault.Storm{Bursts: 0, Count: 4, Service: ms}, Nodes: 1}},
+		{"node-storm/zero-fan", fault.NodeStorm{Storm: storm, Nodes: 0}},
+		{"node-storm/negative-first", fault.NodeStorm{Storm: storm, FirstNode: -1, Nodes: 1}},
+		{"node-storm/negative-stagger", fault.NodeStorm{Storm: storm, Nodes: 1, Stagger: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.inj.Validate(); err == nil {
+				t.Fatalf("Validate accepted a degenerate node spec: %+v", tc.inj)
+			}
+		})
+	}
 }

@@ -1,0 +1,1084 @@
+// Package fleet is the multi-node layer over the Resource
+// Distributor: a deterministic cluster where every node is one
+// complete RD (kernel + scheduler + RM + governor) and a cluster
+// admission front end places guaranteed tasks across nodes,
+// spilling admissions a node rejects onto siblings, retrying
+// fleet-wide denials under bounded exponential backoff, migrating
+// load off nodes whose governors are shedding, and re-admitting the
+// guarantees lost when a whole node crashes.
+//
+// # Determinism
+//
+// The cluster advances on epoch barriers. Between barriers every
+// live node runs its own single-goroutine kernel in parallel on a
+// bounded worker pool (the rdsweep sharding pattern — nodes share no
+// state, so the node→worker assignment cannot affect any node's
+// trajectory). At each barrier a single coordinator applies every
+// inter-node action — arrivals, retries, crashes, restarts,
+// migrations — sequentially, ordered by (due time, submission
+// sequence). Inter-node effects are therefore quantized to epoch
+// boundaries: conservative, and exactly reproducible for any worker
+// count. `fleet.Config.Workers` never affects results, only wall
+// time; fleet_test.go pins this the way sweep_test.go pins rdsweep.
+//
+// Randomness follows the repo's substream discipline
+// (docs/DETERMINISM.md): backoff jitter draws from the dedicated
+// StreamBackoff substream of the cluster seed, node kernel seeds
+// derive from StreamNodeSeeds (a per-node splitmix chain, advanced
+// again at every restart so each incarnation decorrelates), and
+// node-level fault injectors get the positional fault.StreamBase+i
+// substreams, exactly like per-task injectors.
+//
+// # Conservation
+//
+// The robustness contract mirrors the paper's §5.2 overload story at
+// fleet scope: a guarantee, once accepted, is never silently
+// dropped. Every admission ends placed (and running or naturally
+// completed), rejected with a recorded fleet-wide denial, or — after
+// a node crash — either re-placed on a sibling or recorded as a
+// degradation. Finish() re-derives the ledger from the admission
+// records and reports any imbalance as an invariant violation,
+// alongside the per-node runtime checkers.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/invariant"
+	"repro/internal/metrics"
+	"repro/internal/rm"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/telemetry"
+	"repro/internal/ticks"
+)
+
+// Seed substreams owned by the fleet layer (see the allocation table
+// in docs/DETERMINISM.md; rngstream polices these fleet-wide).
+const (
+	// StreamBackoff feeds the retry backoff jitter: every delay the
+	// cluster draws between placement attempts comes from this one
+	// substream, consumed only in the sequential coordinator phase.
+	StreamBackoff = 7
+	// StreamNodeSeeds derives node kernel seeds: node i's first
+	// incarnation seed is the i-th draw from the substream, and each
+	// restart advances the node's private splitmix chain one step so
+	// a rebuilt kernel never replays its predecessor.
+	StreamNodeSeeds = 8
+)
+
+// Placement selects the order in which the admission front end
+// offers a task to nodes.
+type Placement int
+
+const (
+	// FirstFit scans nodes in ID order and takes the first admit.
+	FirstFit Placement = iota
+	// LeastLoaded offers to nodes in ascending committed-minimum
+	// order (rm.Manager.MinSum), IDs breaking ties.
+	LeastLoaded
+	// RoundRobinHash starts the scan at hash(task name) mod N and
+	// wraps, spreading unrelated tasks without central state.
+	RoundRobinHash
+)
+
+func (p Placement) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case RoundRobinHash:
+		return "rr-hash"
+	default:
+		return "first-fit"
+	}
+}
+
+// RetryPolicy bounds the fleet-wide admission retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of full placement scans an
+	// admission may consume before the cluster gives up on it.
+	MaxAttempts int
+	// Base is the backoff before the second attempt; attempt k waits
+	// min(Base<<(k-1), Max) plus jitter in [0, delay/2] drawn from
+	// StreamBackoff.
+	Base ticks.Ticks
+	// Max caps the exponential growth.
+	Max ticks.Ticks
+}
+
+// Config assembles a cluster.
+type Config struct {
+	// Nodes is the fleet size; every node is a full RD.
+	Nodes int
+	// Seed is the cluster seed; node seeds and backoff jitter derive
+	// from it via the substreams above.
+	Seed uint64
+	// Epoch is the barrier interval (default 10 ms). All inter-node
+	// actions take effect on epoch boundaries.
+	Epoch ticks.Ticks
+	// Placement selects the admission scan order.
+	Placement Placement
+	// Retry bounds the fleet-wide retry loop (defaults: 4 attempts,
+	// 5 ms base, 80 ms cap).
+	Retry RetryPolicy
+	// MigrationCost is the state-transfer charge a migration's target
+	// node pays, delivered as one interrupt slab (default 100 µs).
+	MigrationCost ticks.Ticks
+	// Workers bounds the node-advance pool; <= 0 selects
+	// min(GOMAXPROCS, Nodes). Never affects results.
+	Workers int
+	// SwitchCosts applies to every node kernel (nil = zero costs).
+	SwitchCosts *sim.SwitchCosts
+	// InterruptReservePercent is each node's §5.2 interrupt reserve.
+	InterruptReservePercent int64
+	// GovernorInterval, when positive, arms each node's overload
+	// governor; a node under recorded pressure becomes a migration
+	// source at the next barrier.
+	GovernorInterval ticks.Ticks
+	// Invariants arms a per-node invariant.Checker on every node
+	// incarnation.
+	Invariants bool
+	// NodeInit, when non-nil, installs each node's resident local
+	// workload; it runs once per incarnation (initial build and after
+	// every restart). Resident load is node-local by definition — it
+	// dies with a crash and returns with the restart, and is not part
+	// of the cluster guarantee ledger.
+	NodeInit func(d *core.Distributor, node int) error
+}
+
+// Admission is one guaranteed-task arrival presented to the cluster
+// front end.
+type Admission struct {
+	// At is the arrival's virtual time; it is handled at the first
+	// epoch barrier at or after At.
+	At ticks.Ticks
+	// Name is the task name offered to node RMs (policy boxes rank
+	// by name, so recurring names inherit node-local policies).
+	Name string
+	// List is the resource list; each placement attempt offers a
+	// clone.
+	List task.ResourceList
+	// Body builds a fresh task body per placement attempt — bodies
+	// carry progress state, and a re-placed task restarts.
+	Body func() task.Body
+}
+
+type admState uint8
+
+const (
+	admPending  admState = iota // in the placement pipeline
+	admPlaced                   // holding a guarantee on a node
+	admDone                     // ran to natural completion
+	admRejected                 // recorded fleet-wide denial; never held a guarantee
+	admLost                     // guarantee lost to a crash, recorded as a degradation
+)
+
+// admRec is the cluster ledger entry for one admission.
+type admRec struct {
+	Admission
+	seq        int
+	state      admState
+	node       int
+	id         task.ID
+	attempts   int
+	recovering bool
+	crashAt    ticks.Ticks
+	timesLost      int
+	timesRecovered int
+}
+
+// --- the coordinator action queue ---
+
+type actionKind uint8
+
+const (
+	actArrive actionKind = iota
+	actRetry
+	actCrash
+	actRestart
+)
+
+type action struct {
+	due  ticks.Ticks
+	seq  int64
+	kind actionKind
+	adm  *admRec
+	node int
+}
+
+// actionQueue is a binary min-heap on (due, seq): due time orders
+// actions across barriers, submission sequence breaks ties inside
+// one, so the coordinator's processing order is a pure function of
+// the spec.
+type actionQueue struct{ a []action }
+
+func (q *actionQueue) less(i, j int) bool {
+	if q.a[i].due != q.a[j].due {
+		return q.a[i].due < q.a[j].due
+	}
+	return q.a[i].seq < q.a[j].seq
+}
+
+func (q *actionQueue) push(x action) {
+	q.a = append(q.a, x)
+	i := len(q.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q.a[i], q.a[p] = q.a[p], q.a[i]
+		i = p
+	}
+}
+
+func (q *actionQueue) pop() action {
+	top := q.a[0]
+	last := len(q.a) - 1
+	q.a[0] = q.a[last]
+	q.a = q.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(q.a) && q.less(l, s) {
+			s = l
+		}
+		if r < len(q.a) && q.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q.a[i], q.a[s] = q.a[s], q.a[i]
+		i = s
+	}
+	return top
+}
+
+func (q *actionQueue) len() int { return len(q.a) }
+
+func (q *actionQueue) topDue() ticks.Ticks { return q.a[0].due }
+
+// --- nodes ---
+
+// nodeProbe is the per-node sched.Observer: misses and period starts
+// survive across incarnations (the probe outlives crashes).
+type nodeProbe struct {
+	misses  int64
+	periods int64
+}
+
+func (p *nodeProbe) OnDispatch(task.ID, string, ticks.Ticks, ticks.Ticks, sched.DispatchKind, int) {
+}
+func (p *nodeProbe) OnPeriodStart(task.ID, ticks.Ticks, ticks.Ticks, int, ticks.Ticks) {
+	p.periods++
+}
+func (p *nodeProbe) OnDeadlineMiss(task.ID, ticks.Ticks, ticks.Ticks) { p.misses++ }
+func (p *nodeProbe) OnSwitch(sim.SwitchKind, ticks.Ticks)             {}
+func (p *nodeProbe) OnGrantApplied(task.ID, rm.Grant)                 {}
+func (p *nodeProbe) OnBlock(task.ID, ticks.Ticks)                     {}
+
+// node is one RD in the fleet. Everything inside it is touched
+// either by its own advance (parallel phase, node-local) or by the
+// coordinator (sequential phase), never both at once.
+type node struct {
+	id    int
+	seed  uint64
+	cfg   *Config
+	costs sim.SwitchCosts
+
+	d   *core.Distributor
+	pr  *nodeProbe
+	chk *invariant.Checker
+	// flog is the node's own event log: injectors armed on this node
+	// record here from the parallel phase, so fire-time writes stay
+	// node-local. Merged into the cluster report in node-ID order.
+	flog metrics.EventLog
+
+	down     bool
+	restarts int
+	placed   []*admRec
+	stallErr string
+
+	// Accumulators over finished incarnations; statsBase subtracts
+	// the idle skip a restarted kernel performs to rejoin cluster
+	// time, so utilization reflects only live capacity.
+	statsBase       sim.Stats
+	accStats        sim.Stats
+	accElapsed      ticks.Ticks
+	accViolations   int64
+	accDegradations int64
+	initErr         string
+}
+
+// build assembles a fresh incarnation at cluster time at.
+func (n *node) build(at ticks.Ticks) {
+	cfg := core.Config{
+		Seed:                    n.seed,
+		SwitchCosts:             &n.costs,
+		InterruptReservePercent: n.cfg.InterruptReservePercent,
+	}
+	n.chk = nil
+	if n.cfg.Invariants {
+		n.chk = invariant.New(n.pr)
+		cfg.Observer = n.chk
+	} else {
+		cfg.Observer = n.pr
+	}
+	n.d = core.New(cfg)
+	if n.chk != nil {
+		n.chk.Bind(n.d.Kernel(), n.d.Manager(), n.d.Scheduler())
+		n.chk.LogTo(&n.flog)
+	}
+	if at > 0 {
+		// A restarted kernel idles forward to rejoin cluster time; the
+		// stats base excludes that skip from the node's accounting.
+		n.d.RunUntil(at)
+	}
+	n.statsBase = n.d.Kernel().Stats()
+	if n.cfg.GovernorInterval > 0 {
+		n.d.EnableOverloadGovernor(n.cfg.GovernorInterval)
+	}
+	if n.cfg.NodeInit != nil {
+		if err := n.cfg.NodeInit(n.d, n.id); err != nil {
+			n.initErr = fmt.Sprintf("node %d init: %v", n.id, err)
+		}
+	}
+}
+
+// advance runs the node's kernel to limit. Parallel phase: called
+// from pool workers, touches only this node.
+func (n *node) advance(limit ticks.Ticks) {
+	if n.down || n.stallErr != "" {
+		return
+	}
+	n.d.RunUntil(limit)
+	if info, ok := n.d.Kernel().Stalled(); ok {
+		n.stallErr = fmt.Sprintf("node %d: kernel livelock guard tripped at t=%d after %d same-tick events",
+			n.id, int64(info.At), info.Events)
+	}
+}
+
+// retire folds the current incarnation's stats into the node
+// accumulators. finish additionally finalizes the invariant checker
+// (a crashed incarnation is not finalized: its open periods died
+// with the node, and the fleet ledger, not the node checker, owns
+// the lost guarantees).
+func (n *node) retire(finish bool) {
+	if n.d == nil {
+		return
+	}
+	if n.chk != nil {
+		if finish {
+			n.chk.Finish()
+		}
+		n.accViolations += int64(len(n.chk.Violations()))
+	}
+	n.accDegradations += int64(len(n.d.Manager().DegradationEvents()))
+	st := n.d.Kernel().Stats()
+	n.accStats.BusyTicks += st.BusyTicks - n.statsBase.BusyTicks
+	n.accStats.IdleTicks += st.IdleTicks - n.statsBase.IdleTicks
+	n.accStats.SwitchTicks += st.SwitchTicks - n.statsBase.SwitchTicks
+	n.accStats.InterruptTicks += st.InterruptTicks - n.statsBase.InterruptTicks
+	n.accStats.VolSwitches += st.VolSwitches - n.statsBase.VolSwitches
+	n.accStats.InvolSwitches += st.InvolSwitches - n.statsBase.InvolSwitches
+	n.accStats.Interrupts += st.Interrupts - n.statsBase.Interrupts
+	n.accElapsed += st.Now - n.statsBase.Now
+}
+
+// load is the placement pressure signal: the committed minimum sum.
+// Down nodes sort last.
+func (n *node) load() ticks.Frac {
+	if n.down || n.d == nil {
+		return ticks.FracOne
+	}
+	return n.d.Manager().MinSum()
+}
+
+// --- the cluster ---
+
+// Cluster is the assembled fleet. Build with New, feed with Submit
+// (and optionally fault.ArmFleet), then Run once.
+type Cluster struct {
+	cfg     Config
+	nodes   []*node
+	adms    []*admRec
+	q       actionQueue
+	seqCtr  int64
+	backoff *sim.RNG
+	now     ticks.Ticks
+	flog    metrics.EventLog
+	tel     *telemetry.Set
+	ran     bool
+
+	arrivals, placedN, spillovers, retries, rejected int64
+	deniedAttempts                                   int64
+	migrations, migrateFailed                        int64
+	crashes, restarts                                int64
+	lostToCrash, recovered, lostRecorded             int64
+	unarrived                                        int64
+	recoveryMS                                       metrics.Summary
+
+	cPlaced, cSpill, cRetry, cReject, cMigrate *telemetry.Counter
+	cCrash, cRestart, cLost, cRecovered, cDrop *telemetry.Counter
+}
+
+// New validates the config and assembles the fleet at virtual time
+// zero, node by node in ID order.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("fleet: node count %d must be at least 1", cfg.Nodes)
+	}
+	if cfg.Epoch < 0 || cfg.MigrationCost < 0 || cfg.GovernorInterval < 0 {
+		return nil, fmt.Errorf("fleet: epoch, migration cost and governor interval must not be negative")
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 10 * ticks.PerMillisecond
+	}
+	if cfg.MigrationCost == 0 {
+		cfg.MigrationCost = 100 * ticks.PerMicrosecond
+	}
+	if cfg.Retry.MaxAttempts <= 0 {
+		cfg.Retry.MaxAttempts = 4
+	}
+	if cfg.Retry.Base <= 0 {
+		cfg.Retry.Base = 5 * ticks.PerMillisecond
+	}
+	if cfg.Retry.Max < cfg.Retry.Base {
+		cfg.Retry.Max = 80 * ticks.PerMillisecond
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Nodes {
+		cfg.Workers = cfg.Nodes
+	}
+
+	c := &Cluster{
+		cfg:     cfg,
+		backoff: sim.NewRNG(sim.SplitSeed(cfg.Seed, StreamBackoff)),
+		tel:     &telemetry.Set{Registry: telemetry.NewRegistry()},
+	}
+	reg := c.tel.Reg()
+	c.cPlaced = reg.Counter("fleet.placed")
+	c.cSpill = reg.Counter("fleet.spillovers")
+	c.cRetry = reg.Counter("fleet.retries")
+	c.cReject = reg.Counter("fleet.rejected")
+	c.cMigrate = reg.Counter("fleet.migrations")
+	c.cCrash = reg.Counter("fleet.node_crashes")
+	c.cRestart = reg.Counter("fleet.node_restarts")
+	c.cLost = reg.Counter("fleet.lost_to_crash")
+	c.cRecovered = reg.Counter("fleet.recovered")
+	c.cDrop = reg.Counter("fleet.lost_recorded")
+
+	seeds := sim.NewRNG(sim.SplitSeed(cfg.Seed, StreamNodeSeeds))
+	costs := sim.ZeroSwitchCosts()
+	if cfg.SwitchCosts != nil {
+		costs = *cfg.SwitchCosts
+	}
+	c.nodes = make([]*node, cfg.Nodes)
+	for i := range c.nodes {
+		n := &node{id: i, seed: seeds.Uint64(), cfg: &c.cfg, costs: costs, pr: &nodeProbe{}}
+		n.build(0)
+		c.nodes[i] = n
+	}
+	return c, nil
+}
+
+// Telemetry exposes the cluster's instrument set (counters above,
+// all incremented in the sequential coordinator phase).
+func (c *Cluster) Telemetry() *telemetry.Set { return c.tel }
+
+// Node returns node i's current Distributor, or nil while the node
+// is down. Coordinator-phase access only; exposed for tests and
+// resident-workload wiring.
+func (c *Cluster) Node(i int) *core.Distributor { return c.nodes[i].d }
+
+// Submit enqueues one admission. Submissions must precede Run; their
+// order is part of the cluster's deterministic identity.
+func (c *Cluster) Submit(a Admission) error {
+	if c.ran {
+		return fmt.Errorf("fleet: Submit after Run")
+	}
+	if a.At < 0 {
+		return fmt.Errorf("fleet: admission %q arrival time must not be negative", a.Name)
+	}
+	if a.Name == "" {
+		return fmt.Errorf("fleet: admission needs a name")
+	}
+	if a.Body == nil {
+		return fmt.Errorf("fleet: admission %q needs a body factory", a.Name)
+	}
+	if err := a.List.Validate(); err != nil {
+		return fmt.Errorf("fleet: admission %q: %w", a.Name, err)
+	}
+	rec := &admRec{Admission: a, seq: len(c.adms), node: -1, id: task.NoID}
+	c.adms = append(c.adms, rec)
+	c.push(a.At, actArrive, rec, -1)
+	return nil
+}
+
+func (c *Cluster) push(due ticks.Ticks, kind actionKind, adm *admRec, node int) {
+	c.seqCtr++
+	c.q.push(action{due: due, seq: c.seqCtr, kind: kind, adm: adm, node: node})
+}
+
+// --- fault.NodeFleet ---
+
+// NodeCount implements fault.NodeFleet.
+func (c *Cluster) NodeCount() int { return len(c.nodes) }
+
+// ScheduleNodeCrash implements fault.NodeFleet: the crash lands at
+// the epoch barrier covering at.
+func (c *Cluster) ScheduleNodeCrash(node int, at ticks.Ticks) {
+	c.push(at, actCrash, nil, node)
+}
+
+// ScheduleNodeRestart implements fault.NodeFleet.
+func (c *Cluster) ScheduleNodeRestart(node int, at ticks.Ticks) {
+	c.push(at, actRestart, nil, node)
+}
+
+// ArmOnNode implements fault.NodeFleet: the injector is armed on the
+// node's current incarnation and logs into the node's own event log,
+// so fire-time records stay node-local during parallel advances. If
+// the node crashes first, the armed events die with the kernel —
+// outages do not deliver interrupts.
+func (c *Cluster) ArmOnNode(node int, inj fault.Injector, rng *sim.RNG) {
+	n := c.nodes[node]
+	if n.d == nil {
+		return
+	}
+	inj.Arm(n.d, rng, &n.flog)
+}
+
+// --- the run loop ---
+
+// Run advances the fleet to the horizon and freezes the report. One
+// shot: a Cluster runs once.
+func (c *Cluster) Run(horizon ticks.Ticks) *Report {
+	if c.ran {
+		panic("fleet: Run called twice")
+	}
+	if horizon <= 0 {
+		panic("fleet: Run horizon must be positive")
+	}
+	c.ran = true
+	c.barrier(0)
+	for c.now < horizon {
+		next := c.now + c.cfg.Epoch
+		if next > horizon {
+			next = horizon
+		}
+		c.advanceAll(next)
+		c.now = next
+		c.barrier(next)
+	}
+	c.finish(horizon)
+	return c.report(horizon)
+}
+
+// advanceAll runs every live node to limit on the worker pool. The
+// pool only partitions node indexes; each node's trajectory is fixed
+// by its own kernel, so the partition cannot affect results.
+func (c *Cluster) advanceAll(limit ticks.Ticks) {
+	live := make([]int, 0, len(c.nodes))
+	for i, n := range c.nodes {
+		if !n.down {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	workers := c.cfg.Workers
+	if workers > len(live) {
+		workers = len(live)
+	}
+	if workers <= 1 {
+		for _, i := range live {
+			c.nodes[i].advance(limit)
+		}
+		return
+	}
+	jobs := make(chan int, len(live))
+	for _, i := range live {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c.nodes[i].advance(limit)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// barrier is the sequential coordinator phase at cluster time now.
+func (c *Cluster) barrier(now ticks.Ticks) {
+	for c.q.len() > 0 && c.q.topDue() <= now {
+		a := c.q.pop()
+		switch a.kind {
+		case actArrive:
+			c.arrivals++
+			c.place(a.adm, now)
+		case actRetry:
+			c.place(a.adm, now)
+		case actCrash:
+			c.doCrash(a.node, now)
+		case actRestart:
+			c.doRestart(a.node, now)
+		}
+	}
+	c.completionScan()
+	c.migrationScan(now)
+}
+
+// place runs one full placement scan for a, in the policy's node
+// order, and either commits a guarantee, schedules a backoff retry,
+// or records the admission's terminal outcome.
+func (c *Cluster) place(a *admRec, now ticks.Ticks) {
+	denials := 0
+	for _, ni := range c.placementOrder(a) {
+		n := c.nodes[ni]
+		if n.down || n.stallErr != "" {
+			continue
+		}
+		id, err := n.d.RequestAdmittance(&task.Task{Name: a.Name, List: a.List.Clone(), Body: a.Body()})
+		if err != nil {
+			denials++
+			c.deniedAttempts++
+			continue
+		}
+		a.state = admPlaced
+		a.node, a.id = ni, id
+		a.attempts = 0
+		n.placed = append(n.placed, a)
+		c.placedN++
+		c.cPlaced.Inc()
+		if denials > 0 {
+			c.spillovers++
+			c.cSpill.Inc()
+			c.flog.Record(now, "fleet.spill",
+				fmt.Sprintf("%s spilled to node %d after %d denial(s)", a.Name, ni, denials))
+		}
+		if a.recovering {
+			a.recovering = false
+			a.timesRecovered++
+			c.recovered++
+			c.cRecovered.Inc()
+			c.recoveryMS.Add((now - a.crashAt).MillisecondsF())
+			c.flog.Record(now, "fleet.recover",
+				fmt.Sprintf("%s re-placed on node %d, %v after its node crashed", a.Name, ni, now-a.crashAt))
+		}
+		return
+	}
+	a.attempts++
+	if a.attempts >= c.cfg.Retry.MaxAttempts {
+		c.abandon(a, now, fmt.Sprintf("denied fleet-wide %d times", a.attempts))
+		return
+	}
+	delay := c.backoffDelay(a.attempts)
+	c.retries++
+	c.cRetry.Inc()
+	c.flog.Record(now, "fleet.backoff",
+		fmt.Sprintf("%s attempt %d denied fleet-wide; retry in %v", a.Name, a.attempts, delay))
+	c.push(now+delay, actRetry, a, -1)
+}
+
+// backoffDelay is the wait before attempt+1: min(Base<<(attempt-1),
+// Max) plus jitter in [0, delay/2] from the StreamBackoff substream.
+func (c *Cluster) backoffDelay(attempt int) ticks.Ticks {
+	d := c.cfg.Retry.Max
+	if shift := uint(attempt - 1); shift < 32 {
+		if b := c.cfg.Retry.Base << shift; b < d {
+			d = b
+		}
+	}
+	return d + ticks.Ticks(c.backoff.Uint64()%uint64(d/2+1))
+}
+
+// abandon records an admission's terminal failure: a degradation if
+// a crash stranded it, a plain fleet-wide rejection otherwise.
+// Either way the outcome is in the ledger and the event log — never
+// a silent drop.
+func (c *Cluster) abandon(a *admRec, now ticks.Ticks, why string) {
+	if a.recovering {
+		a.recovering = false
+		a.state = admLost
+		c.lostRecorded++
+		c.cDrop.Inc()
+		c.flog.Record(now, "fleet.lost",
+			fmt.Sprintf("%s: guarantee lost to node crash, not re-placed (%s); recorded as degradation", a.Name, why))
+		return
+	}
+	a.state = admRejected
+	c.rejected++
+	c.cReject.Inc()
+	c.flog.Record(now, "fleet.reject", fmt.Sprintf("%s rejected fleet-wide (%s)", a.Name, why))
+}
+
+// placementOrder lists node IDs in the policy's offer order.
+func (c *Cluster) placementOrder(a *admRec) []int {
+	n := len(c.nodes)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	switch c.cfg.Placement {
+	case LeastLoaded:
+		sort.SliceStable(order, func(i, j int) bool {
+			return c.nodes[order[i]].load().Cmp(c.nodes[order[j]].load()) < 0
+		})
+	case RoundRobinHash:
+		start := int(fnv64(a.Name) % uint64(n))
+		for i := range order {
+			order[i] = (start + i) % n
+		}
+	}
+	return order
+}
+
+// fnv64 is FNV-1a, inlined so the hash that seeds round-robin
+// placement is frozen by this repo, not by a library.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// doCrash takes a node down at the barrier: its kernel vanishes, its
+// incarnation stats fold into the node accumulators (without
+// finalizing the checker — open periods died with the node), and
+// every fleet guarantee it held enters the recovery pipeline.
+func (c *Cluster) doCrash(ni int, now ticks.Ticks) {
+	n := c.nodes[ni]
+	if n.down {
+		c.flog.Record(now, "fleet.crash-skipped", fmt.Sprintf("node %d is already down", ni))
+		return
+	}
+	if n.stallErr != "" {
+		return
+	}
+	n.retire(false)
+	lost := n.placed
+	n.placed = nil
+	n.down = true
+	n.d, n.chk = nil, nil
+	c.crashes++
+	c.cCrash.Inc()
+	c.flog.Record(now, "fault.node-crash",
+		fmt.Sprintf("node %d crashed; %d fleet guarantee(s) lost, re-admitting", ni, len(lost)))
+	for _, a := range lost {
+		a.state = admPending
+		a.node, a.id = -1, task.NoID
+		a.recovering = true
+		a.crashAt = now
+		a.attempts = 0
+		a.timesLost++
+		c.lostToCrash++
+		c.cLost.Inc()
+		c.push(now, actRetry, a, -1)
+	}
+}
+
+// doRestart brings a crashed node back with a fresh kernel on the
+// next link of its seed chain, idles it forward to cluster time, and
+// re-installs its resident workload.
+func (c *Cluster) doRestart(ni int, now ticks.Ticks) {
+	n := c.nodes[ni]
+	if !n.down {
+		c.flog.Record(now, "fleet.restart-skipped", fmt.Sprintf("node %d is already up", ni))
+		return
+	}
+	n.seed = sim.SplitSeed(n.seed, StreamNodeSeeds)
+	n.down = false
+	n.restarts++
+	c.restarts++
+	c.cRestart.Inc()
+	n.build(now)
+	c.flog.Record(now, "fault.node-restart",
+		fmt.Sprintf("node %d restarted with a fresh kernel (restart #%d)", ni, n.restarts))
+}
+
+// completionScan retires ledger entries whose tasks exited
+// naturally. The Resource Manager is the liveness oracle: it knows a
+// task from RequestAdmittance until its body exits (core sets
+// RemoveOnExit), so an ID the RM no longer recognises was delivered
+// in full. The scheduler cannot be used here — it only learns a task
+// when its first grant is collected, which may be an epoch after
+// placement.
+func (c *Cluster) completionScan() {
+	for _, n := range c.nodes {
+		if n.down || n.d == nil || len(n.placed) == 0 {
+			continue
+		}
+		kept := n.placed[:0]
+		for _, a := range n.placed {
+			if _, err := n.d.Manager().State(a.id); err == nil {
+				kept = append(kept, a)
+				continue
+			}
+			a.state = admDone
+			a.id = task.NoID
+		}
+		n.placed = kept
+	}
+}
+
+// migrationScan moves load off governors under pressure: a node
+// whose RM records nonzero shed pressure offers its most recent
+// fleet placement to a pressure-free sibling (policy order). The
+// target pays the migration cost as one interrupt slab — state
+// transfer is not free — and the move is recorded either way. At
+// most one migration per source node per barrier.
+func (c *Cluster) migrationScan(now ticks.Ticks) {
+	for _, n := range c.nodes {
+		if n.down || n.d == nil || len(n.placed) == 0 || n.stallErr != "" {
+			continue
+		}
+		if n.d.Manager().Pressure().Cmp(ticks.FracZero) <= 0 {
+			continue
+		}
+		c.migrate(n.placed[len(n.placed)-1], n, now)
+	}
+}
+
+func (c *Cluster) migrate(a *admRec, src *node, now ticks.Ticks) {
+	for _, ni := range c.placementOrder(a) {
+		t := c.nodes[ni]
+		if ni == src.id || t.down || t.d == nil || t.stallErr != "" {
+			continue
+		}
+		if t.d.Manager().Pressure().Cmp(ticks.FracZero) > 0 {
+			continue
+		}
+		id, err := t.d.RequestAdmittance(&task.Task{Name: a.Name, List: a.List.Clone(), Body: a.Body()})
+		if err != nil {
+			c.deniedAttempts++
+			continue
+		}
+		if err := src.d.Terminate(a.id); err != nil {
+			_ = t.d.Terminate(id)
+			c.flog.Record(now, "fleet.migrate-failed",
+				fmt.Sprintf("%s: source node %d would not release: %v", a.Name, src.id, err))
+			return
+		}
+		t.d.Kernel().RunInterrupt(c.cfg.MigrationCost)
+		src.placed = src.placed[:len(src.placed)-1]
+		a.node, a.id = ni, id
+		t.placed = append(t.placed, a)
+		c.migrations++
+		c.cMigrate.Inc()
+		c.flog.Record(now, "fleet.migrate",
+			fmt.Sprintf("%s moved node %d -> %d under shed pressure; %v transfer charged to target",
+				a.Name, src.id, ni, c.cfg.MigrationCost))
+		return
+	}
+	c.migrateFailed++
+	c.flog.Record(now, "fleet.migrate-failed",
+		fmt.Sprintf("%s: node %d under pressure but no sibling can host", a.Name, src.id))
+}
+
+// finish drains the pipeline at the horizon: in-flight retries
+// become recorded outcomes, arrivals beyond the horizon are counted
+// as never-arrived, live incarnations retire with finalized
+// checkers.
+func (c *Cluster) finish(horizon ticks.Ticks) {
+	for c.q.len() > 0 {
+		a := c.q.pop()
+		switch a.kind {
+		case actArrive:
+			c.unarrived++
+		case actRetry:
+			c.abandon(a.adm, horizon, "horizon reached mid-retry")
+		}
+	}
+	for _, n := range c.nodes {
+		if !n.down {
+			n.retire(true)
+		}
+	}
+}
+
+// auditConservation re-derives the guarantee ledger from the
+// admission records and reports every imbalance. The counters being
+// re-computed from scratch is the point: a bookkeeping bug in the
+// pipeline cannot silently agree with itself.
+func (c *Cluster) auditConservation() []string {
+	var probs []string
+	var lost, recovered, lostRec int64
+	for _, a := range c.adms {
+		lost += int64(a.timesLost)
+		recovered += int64(a.timesRecovered)
+		if a.state == admLost {
+			lostRec++
+		}
+		if a.recovering {
+			probs = append(probs, fmt.Sprintf(
+				"%s (seq %d): crash-lost guarantee neither re-placed nor recorded", a.Name, a.seq))
+		}
+		want := a.timesLost
+		if a.state == admLost {
+			want--
+		}
+		if a.timesRecovered != want && !a.recovering {
+			probs = append(probs, fmt.Sprintf(
+				"%s (seq %d): %d crash losses vs %d recoveries in state %d",
+				a.Name, a.seq, a.timesLost, a.timesRecovered, a.state))
+		}
+	}
+	if lost != c.lostToCrash || recovered != c.recovered || lostRec != c.lostRecorded {
+		probs = append(probs, fmt.Sprintf(
+			"ledger counters diverge from records: lost %d/%d, recovered %d/%d, recorded %d/%d",
+			lost, c.lostToCrash, recovered, c.recovered, lostRec, c.lostRecorded))
+	}
+	if c.lostToCrash != c.recovered+c.lostRecorded {
+		probs = append(probs, fmt.Sprintf(
+			"conservation: %d guarantees lost to crashes != %d re-placed + %d recorded degradations",
+			c.lostToCrash, c.recovered, c.lostRecorded))
+	}
+	return probs
+}
+
+// --- the report ---
+
+// Report is a finished run's frozen measurements. Every field is a
+// pure function of (Config, submissions, armed injectors), never of
+// Workers.
+type Report struct {
+	Nodes   int
+	Horizon ticks.Ticks
+
+	Arrivals   int64 // admissions whose arrival barrier fell inside the horizon
+	Placed     int64 // guarantees committed (counting each re-placement once)
+	Spillovers int64 // placements that landed after at least one live-node denial
+	Retries    int64 // backoff rounds consumed by fleet-wide denials
+	Rejected   int64 // admissions denied fleet-wide past the retry budget
+	Unarrived  int64 // submissions whose arrival time fell beyond the horizon
+
+	DeniedAttempts int64 // individual node-level denials across all scans
+
+	Migrations    int64 // pressure-driven moves committed (with cost charged)
+	MigrateFailed int64 // pressure sources that found no host
+
+	Crashes      int64 // node crashes executed
+	Restarts     int64 // node restarts executed
+	LostToCrash  int64 // guarantees on crashed nodes entering recovery
+	Recovered    int64 // crash-lost guarantees re-placed on siblings
+	LostRecorded int64 // crash-lost guarantees recorded as degradations
+
+	// RecoveryMS samples crash→re-placement latency, per recovery.
+	RecoveryMS metrics.Summary
+
+	Misses  int64 // deadline misses across all nodes and incarnations
+	Periods int64 // period starts across all nodes and incarnations
+
+	Degradations int64 // recorded rm pressure decisions, summed over nodes
+	// Violations counts per-node invariant-checker breaches plus
+	// fleet-ledger conservation failures; zero on a healthy run.
+	Violations     int64
+	FaultsInjected int64
+
+	// Fleet-aggregate fractions over live node capacity (downtime is
+	// excluded from the denominator).
+	Utilization    float64
+	SwitchOverhead float64
+	InterruptLoad  float64
+
+	// Stalled lists nodes whose kernels tripped the livelock guard,
+	// and node-init failures; non-empty means the run is invalid.
+	Stalled []string
+
+	// Telemetry is the cluster registry snapshot (fleet.* counters).
+	Telemetry telemetry.Snapshot
+
+	// Log is the merged event log: coordinator events first, then
+	// each node's own log in node-ID order.
+	Log metrics.EventLog
+}
+
+func (c *Cluster) report(horizon ticks.Ticks) *Report {
+	probs := c.auditConservation()
+	for _, p := range probs {
+		c.flog.Record(horizon, "invariant.fleet-conservation", p)
+	}
+	r := &Report{
+		Nodes:          len(c.nodes),
+		Horizon:        horizon,
+		Arrivals:       c.arrivals,
+		Placed:         c.placedN,
+		Spillovers:     c.spillovers,
+		Retries:        c.retries,
+		Rejected:       c.rejected,
+		Unarrived:      c.unarrived,
+		DeniedAttempts: c.deniedAttempts,
+		Migrations:     c.migrations,
+		MigrateFailed:  c.migrateFailed,
+		Crashes:        c.crashes,
+		Restarts:       c.restarts,
+		LostToCrash:    c.lostToCrash,
+		Recovered:      c.recovered,
+		LostRecorded:   c.lostRecorded,
+		Violations:     int64(len(probs)),
+	}
+	r.RecoveryMS.Merge(&c.recoveryMS)
+	r.Log.Merge(&c.flog)
+	var elapsed, busy, sw, irq ticks.Ticks
+	for _, n := range c.nodes {
+		r.Misses += n.pr.misses
+		r.Periods += n.pr.periods
+		r.Degradations += n.accDegradations
+		r.Violations += n.accViolations
+		elapsed += n.accElapsed
+		busy += n.accStats.BusyTicks
+		sw += n.accStats.SwitchTicks
+		irq += n.accStats.InterruptTicks
+		if n.stallErr != "" {
+			r.Stalled = append(r.Stalled, n.stallErr)
+		}
+		if n.initErr != "" {
+			r.Stalled = append(r.Stalled, n.initErr)
+		}
+		r.Log.Merge(&n.flog)
+	}
+	if elapsed > 0 {
+		r.Utilization = float64(busy) / float64(elapsed)
+		r.SwitchOverhead = float64(sw) / float64(elapsed)
+		r.InterruptLoad = float64(irq) / float64(elapsed)
+	}
+	r.FaultsInjected = int64(r.Log.KindPrefixCount("fault."))
+	r.Telemetry = c.tel.Reg().Snapshot()
+	return r
+}
+
+// Summary renders the report's scalar fields in a fixed layout —
+// the worker-invariance and determinism tests compare these strings
+// (and Log.String()) byte for byte.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"nodes=%d horizon=%v arrivals=%d placed=%d spill=%d retries=%d rejected=%d unarrived=%d denied=%d "+
+			"migrations=%d migrate-failed=%d crashes=%d restarts=%d lost=%d recovered=%d lost-recorded=%d "+
+			"recovery-p50=%.3fms recovery-p99=%.3fms misses=%d periods=%d degr=%d viol=%d faults=%d "+
+			"util=%.6f sw=%.6f irq=%.6f stalled=%d",
+		r.Nodes, r.Horizon, r.Arrivals, r.Placed, r.Spillovers, r.Retries, r.Rejected, r.Unarrived,
+		r.DeniedAttempts, r.Migrations, r.MigrateFailed, r.Crashes, r.Restarts, r.LostToCrash,
+		r.Recovered, r.LostRecorded, r.RecoveryMS.Percentile(50), r.RecoveryMS.Percentile(99),
+		r.Misses, r.Periods, r.Degradations, r.Violations, r.FaultsInjected,
+		r.Utilization, r.SwitchOverhead, r.InterruptLoad, len(r.Stalled))
+}

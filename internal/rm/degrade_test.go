@@ -128,3 +128,116 @@ func TestPressureDoesNotAffectAdmission(t *testing.T) {
 		t.Errorf("admission under pressure failed: %v", err)
 	}
 }
+
+// TestPressureRampAccounting drives SetPressure through ramp
+// sequences — staircases up, recoveries down, governor-style
+// re-assertions — and checks the degradation ledger's contract:
+// generations advance monotonically, every *distinct* pressure
+// transition is recorded exactly once (re-asserting the current value
+// is a no-op), and every record carries the timestamp, reason and
+// post-floor applied reduction of its decision. Nothing is lost,
+// nothing is duplicated.
+func TestPressureRampAccounting(t *testing.T) {
+	type step struct {
+		at  ticks.Ticks
+		pct int // pressure in percent; repeats model governor re-assertion
+	}
+	cases := []struct {
+		name       string
+		steps      []step
+		wantEvents int // distinct transitions
+	}{
+		{
+			name:       "staircase-up",
+			steps:      []step{{100, 10}, {200, 20}, {300, 30}, {400, 40}},
+			wantEvents: 4,
+		},
+		{
+			name:       "ramp-up-then-recover",
+			steps:      []step{{100, 25}, {200, 50}, {300, 25}, {400, 0}},
+			wantEvents: 4,
+		},
+		{
+			name:       "governor-reassertion-is-noop",
+			steps:      []step{{100, 30}, {110, 30}, {120, 30}, {200, 45}, {210, 45}, {300, 0}},
+			wantEvents: 3,
+		},
+		{
+			name:       "sawtooth",
+			steps:      []step{{100, 40}, {200, 0}, {300, 40}, {400, 0}, {500, 40}},
+			wantEvents: 5,
+		},
+		{
+			name:       "zero-start-is-noop",
+			steps:      []step{{100, 0}, {200, 0}, {300, 15}},
+			wantEvents: 1,
+		},
+		{
+			name:       "negative-clamps-to-zero",
+			steps:      []step{{100, 20}, {200, -5}, {300, -5}},
+			wantEvents: 2, // -5 clamps to 0: one real lift, then a no-op
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(Config{})
+			if _, err := m.RequestAdmittance(mpegTask()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.RequestAdmittance(graphics3DTask()); err != nil {
+				t.Fatal(err)
+			}
+			baseGen := m.Generation()
+			for _, s := range tc.steps {
+				p := ticks.FracPercent(int64(s.pct))
+				if s.pct < 0 {
+					p = ticks.Frac{Num: int64(s.pct), Den: 100}
+				}
+				m.SetPressure(s.at, p, tc.name)
+			}
+			evs := m.DegradationEvents()
+			if len(evs) != tc.wantEvents {
+				t.Fatalf("recorded %d degradation events, want %d: %+v", len(evs), tc.wantEvents, evs)
+			}
+			// One generation per recorded event, strictly increasing,
+			// with the manager's final generation matching the ledger.
+			prevGen := baseGen
+			prevAt := ticks.Ticks(-1)
+			for i, ev := range evs {
+				if ev.Generation <= prevGen {
+					t.Errorf("event %d: generation %d not monotone (prev %d)", i, ev.Generation, prevGen)
+				}
+				if ev.Generation != prevGen+1 {
+					t.Errorf("event %d: generation %d skipped a revision (prev %d): a shed went unrecorded",
+						i, ev.Generation, prevGen)
+				}
+				if ev.At < prevAt {
+					t.Errorf("event %d: timestamp %d before predecessor %d", i, ev.At, prevAt)
+				}
+				if ev.Reason != tc.name {
+					t.Errorf("event %d: reason %q, want %q", i, ev.Reason, tc.name)
+				}
+				if ev.Applied.Cmp(ev.Requested) > 0 {
+					t.Errorf("event %d: applied %.4f exceeds requested %.4f",
+						i, ev.Applied.Float(), ev.Requested.Float())
+				}
+				if ev.Applied.Num < 0 {
+					t.Errorf("event %d: negative applied reduction %.4f", i, ev.Applied.Float())
+				}
+				prevGen, prevAt = ev.Generation, ev.At
+			}
+			if m.Generation() != prevGen {
+				t.Errorf("manager generation %d != last recorded %d: a recompute escaped the ledger",
+					m.Generation(), prevGen)
+			}
+			// The ramp always ends with known pressure in force.
+			last := tc.steps[len(tc.steps)-1].pct
+			if last < 0 {
+				last = 0
+			}
+			if m.Pressure().Cmp(ticks.FracPercent(int64(last))) != 0 {
+				t.Errorf("final pressure %.4f, want %d%%", m.Pressure().Float(), last)
+			}
+		})
+	}
+}

@@ -35,8 +35,14 @@ func (s *Scheduler) RunUntil(limit ticks.Ticks) {
 		}
 		// Event handlers (interrupts, §5.2) may occupy the CPU and
 		// advance the clock; re-read it so period rollovers and
-		// preemption arithmetic see the true time.
+		// preemption arithmetic see the true time. A handler may even
+		// carry the clock to or past the limit (a long interrupt slab
+		// near the horizon): there is no slice left to dispatch, and a
+		// later RunUntil call picks up from the overshot instant.
 		now = s.k.Now()
+		if now >= limit {
+			return
+		}
 		s.rollPeriods(now)
 		s.tel.qRemaining.Set(int64(len(s.timeRemaining)))
 		s.tel.qExpired.Set(int64(len(s.timeExpired)))

@@ -28,7 +28,7 @@ const FaultFamily = "fault"
 
 // scenarioFamilies lists the matrix names that expand to every
 // scenario sharing the "<family>-" prefix.
-var scenarioFamilies = []string{FaultFamily, BaselineFamily}
+var scenarioFamilies = []string{FaultFamily, BaselineFamily, FleetFamily}
 
 // expandFamilies replaces family names in a scenario list with their
 // members, preserving order. Unknown names pass through untouched so
@@ -123,7 +123,9 @@ func (e *env) runFault(cfg core.Config, injs ...fault.Injector) error {
 	if err := e.faultBaseline(); err != nil {
 		return err
 	}
-	fault.ArmAll(d, e.spec.Seed, &e.flog, injs...)
+	if err := fault.ArmAll(d, e.spec.Seed, &e.flog, injs...); err != nil {
+		return err
+	}
 	d.Run(e.spec.Horizon)
 	e.quality = func(m *RunMetrics) {
 		var periods int64
@@ -156,9 +158,11 @@ func runFaultStorm(e *env) error {
 	if err := e.faultBaseline(); err != nil {
 		return err
 	}
-	fault.ArmAll(d, e.spec.Seed, &e.flog,
+	if err := fault.ArmAll(d, e.spec.Seed, &e.flog,
 		fault.Storm{At: 50 * ms, Bursts: 4, Every: 20 * ms, Count: 16,
-			Service: 500 * ticks.PerMicrosecond})
+			Service: 500 * ticks.PerMicrosecond}); err != nil {
+		return err
+	}
 	d.Run(e.spec.Horizon)
 	e.quality = func(m *RunMetrics) {
 		var periods int64

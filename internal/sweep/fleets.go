@@ -1,0 +1,240 @@
+package sweep
+
+// The fleet scenario family: each member stands up an internal/fleet
+// cluster — every node a full Resource Distributor — and drives it
+// with an open-loop arrival stream under a placement policy, with
+// node-level faults armed on top. The quality contract extends the
+// single-node fault family to fleet scope: an admission either holds
+// a guarantee somewhere, completes, or is recorded as a rejection or
+// a degradation — the cluster ledger (and its conservation audit)
+// forbids silent loss, and RunMetrics.Violations counts any breach.
+//
+// The policy axis doubles as the placement axis here: the fleet-*
+// scenarios accept the placement policies below (plus PolicyInvent,
+// which maps to the default first-fit scan), so one matrix compares
+// first-fit, least-loaded and hashed round-robin under identical
+// arrival streams and fault schedules.
+//
+// Arrival randomness comes from streamFleet; node seeds, backoff
+// jitter and injector schedules derive from their own documented
+// substreams (see docs/DETERMINISM.md), so a fleet run replays
+// byte-identically from its spec at any cluster worker count.
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/ticks"
+)
+
+// FleetFamily is the matrix scenario name that expands to every
+// fleet-* scenario.
+const FleetFamily = "fleet"
+
+// streamFleet seeds the fleet scenarios' arrival-stream generator
+// (task periods, level menus, lifetimes, arrival times).
+const streamFleet = 9
+
+// Fleet placement policies, surfaced on the shared policy axis.
+const (
+	PolicyFleetFirstFit    = "first-fit"
+	PolicyFleetLeastLoaded = "least-loaded"
+	PolicyFleetRRHash      = "rr-hash"
+)
+
+// fleetPolicies is the variant list every fleet-* scenario supports:
+// the three placement orders plus PolicyInvent (the sweep-wide
+// lowest-common-denominator variant), which runs the default
+// first-fit scan.
+func fleetPolicies() []string {
+	return []string{PolicyInvent, PolicyFleetFirstFit, PolicyFleetLeastLoaded, PolicyFleetRRHash}
+}
+
+func placementFor(policy string) fleet.Placement {
+	switch policy {
+	case PolicyFleetLeastLoaded:
+		return fleet.LeastLoaded
+	case PolicyFleetRRHash:
+		return fleet.RoundRobinHash
+	default:
+		return fleet.FirstFit
+	}
+}
+
+func init() {
+	scenarios = append(scenarios,
+		Scenario{
+			Name:     "fleet-spill",
+			Desc:     "16 tight nodes under a heavy arrival stream: spillover, backoff, rejection",
+			Policies: fleetPolicies(),
+			run:      runFleetSpill,
+		},
+		Scenario{
+			Name:     "fleet-surge",
+			Desc:     "48 nodes, correlated interrupt storms over a third of the fleet: shedding and migration",
+			Policies: fleetPolicies(),
+			run:      runFleetSurge,
+		},
+		Scenario{
+			Name:     "fleet-crash",
+			Desc:     "120 nodes, roaming crash/restart cycles plus a correlated storm front: recovery",
+			Policies: fleetPolicies(),
+			run:      runFleetCrash,
+		},
+	)
+}
+
+// fleetBody builds bodies that consume their grant and exit after
+// life periods, so fleet capacity churns and retries have something
+// to win.
+func fleetBody(life int) func() task.Body {
+	return func() task.Body {
+		periods := 0
+		return task.BodyFunc(func(ctx task.RunContext) task.RunResult {
+			if ctx.NewPeriod {
+				periods++
+				if periods > life {
+					return task.RunResult{Op: task.OpExit}
+				}
+			}
+			return task.RunResult{Used: ctx.Span, Op: task.OpYield, Completed: true}
+		})
+	}
+}
+
+// runFleet is the family's shared harness: build the cluster with
+// the spec's seed, cost model and placement policy, arm the
+// node-level injectors, submit an open-loop arrival stream sized per
+// node, run to the horizon, and report fleet quality as recorded
+// losses (deadline misses plus crash losses the cluster could not
+// re-place) over total period starts.
+func (e *env) runFleet(cfg fleet.Config, perNode, topPct int, injs ...fault.NodeInjector) error {
+	cfg.Seed = e.spec.Seed
+	cfg.SwitchCosts = &e.costs
+	cfg.Placement = placementFor(e.spec.Policy)
+	cfg.Workers = 1 // the sweep already parallelizes across runs
+	cfg.Invariants = true
+	c, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	if len(injs) > 0 {
+		if err := fault.ArmFleet(c, e.spec.Seed, &e.flog, injs...); err != nil {
+			return err
+		}
+	}
+
+	// Open-loop arrivals over the first three quarters of the horizon:
+	// mixed periods, two-level lists (something to shed), finite
+	// lifetimes (capacity churns, so backoff retries can succeed).
+	rng := sim.NewRNG(sim.SplitSeed(e.spec.Seed, streamFleet))
+	periodChoices := []int64{5, 10, 20, 40} // ms
+	window := uint64(e.spec.Horizon * 3 / 4)
+	for i := 0; i < cfg.Nodes*perNode; i++ {
+		period := ticks.FromMilliseconds(periodChoices[rng.Intn(len(periodChoices))])
+		top := 8 + rng.Intn(topPct-7) // top level 8..topPct percent
+		if err := c.Submit(fleet.Admission{
+			At:   ticks.Ticks(rng.Uint64() % window),
+			Name: fmt.Sprintf("fl%05d", i),
+			List: task.UniformLevels(period, "Fleet", top, (top+1)/2),
+			Body: fleetBody(10 + rng.Intn(40)),
+		}); err != nil {
+			return err
+		}
+	}
+
+	rep := c.Run(e.spec.Horizon)
+	e.fl = rep
+	e.quality = func(m *RunMetrics) {
+		m.Loss = rep.Misses + rep.LostRecorded
+		m.Opportunities = rep.Periods
+	}
+	return nil
+}
+
+// fleetMetrics folds a cluster report into RunMetrics — the fleet
+// analogue of runOne's single-kernel tail. A stalled or init-failed
+// node invalidates the run.
+func (e *env) fleetMetrics() (out RunMetrics) {
+	rep := e.fl
+	if len(rep.Stalled) > 0 {
+		return RunMetrics{Err: rep.Stalled[0]}
+	}
+	out.Misses = rep.Misses
+	out.Denied = rep.Rejected
+	out.Utilization = rep.Utilization
+	out.SwitchOverhead = rep.SwitchOverhead
+	out.InterruptLoad = rep.InterruptLoad
+	out.Violations = rep.Violations
+	out.Degradations = rep.Degradations
+	// Arm-time events land in the run's own log, fire-time events in
+	// the cluster's merged log.
+	out.FaultsInjected = rep.FaultsInjected + int64(e.flog.KindPrefixCount("fault."))
+	out.Spillovers = rep.Spillovers
+	out.Retries = rep.Retries
+	out.Migrations = rep.Migrations
+	out.NodeRestarts = rep.Restarts
+	out.RecoveryMS.Merge(&rep.RecoveryMS)
+	out.Telemetry = rep.Telemetry
+	if e.quality != nil {
+		e.quality(&out)
+	}
+	return out
+}
+
+func runFleetSpill(e *env) error {
+	// No faults: the pressure is pure arithmetic — more minimum
+	// demand than fleet capacity, so placement order and the retry
+	// loop decide who gets a guarantee.
+	return e.runFleet(fleet.Config{Nodes: 16}, 14, 50)
+}
+
+func runFleetSurge(e *env) error {
+	h := e.spec.Horizon
+	return e.runFleet(
+		fleet.Config{
+			Nodes:                   48,
+			InterruptReservePercent: 2,
+			GovernorInterval:        10 * ms,
+		},
+		6, 35,
+		fault.NodeStorm{
+			Storm: fault.Storm{
+				At:      h / 5,
+				Bursts:  10,
+				Every:   h / 100,
+				Count:   10,
+				Service: 400 * ticks.PerMicrosecond,
+			},
+			FirstNode: 0,
+			Nodes:     16,
+			Stagger:   h / 200,
+		})
+}
+
+func runFleetCrash(e *env) error {
+	h := e.spec.Horizon
+	return e.runFleet(
+		fleet.Config{
+			Nodes:                   120,
+			InterruptReservePercent: 2,
+			GovernorInterval:        10 * ms,
+		},
+		8, 35,
+		fault.NodeCrash{Node: -1, At: h / 8, Cycles: 6, MeanUp: h / 6, MeanDown: h / 16},
+		fault.NodeStorm{
+			Storm: fault.Storm{
+				At:      h / 3,
+				Bursts:  6,
+				Every:   h / 50,
+				Count:   12,
+				Service: 400 * ticks.PerMicrosecond,
+			},
+			FirstNode: 0,
+			Nodes:     20,
+			Stagger:   h / 100,
+		})
+}

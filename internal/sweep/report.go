@@ -39,6 +39,12 @@ type Cell struct {
 
 	StreamerBytes  int64 // DMA payload completed, summed over runs
 
+	// Fleet-layer totals (fleet-* cells; zero elsewhere).
+	Spillovers   int64
+	Retries      int64
+	Migrations   int64
+	NodeRestarts int64
+
 	Misses         metrics.Summary // deadline misses per run
 	Completed      metrics.Summary // completed periods per run (comparator family)
 	LossRate       metrics.Summary // unplanned loss / opportunities per run
@@ -49,6 +55,7 @@ type Cell struct {
 	Degradations   metrics.Summary // recorded degradation decisions per run
 	AdmissionMS    metrics.Summary // per admitted task, pooled over runs
 	AdmissionHist  *metrics.Histogram
+	RecoveryMS     metrics.Summary // crash→re-placement latency, pooled over runs
 
 	// Telemetry is the cell's merged instrument snapshot: per-run
 	// registries folded in spec order (counters add, histogram buckets
@@ -85,6 +92,11 @@ func (c *Cell) add(spec RunSpec, r RunMetrics) {
 	c.Denied += r.Denied
 	c.FaultsInjected += r.FaultsInjected
 	c.StreamerBytes += r.StreamerBytes
+	c.Spillovers += r.Spillovers
+	c.Retries += r.Retries
+	c.Migrations += r.Migrations
+	c.NodeRestarts += r.NodeRestarts
+	c.RecoveryMS.Merge(&r.RecoveryMS)
 	c.Misses.Add(float64(r.Misses))
 	c.Completed.Add(float64(r.CompletedPeriods))
 	c.LossRate.Add(r.LossRate())
@@ -114,6 +126,11 @@ func (c *Cell) merge(o *Cell) {
 	}
 	c.Telemetry.Merge(o.Telemetry)
 	c.StreamerBytes += o.StreamerBytes
+	c.Spillovers += o.Spillovers
+	c.Retries += o.Retries
+	c.Migrations += o.Migrations
+	c.NodeRestarts += o.NodeRestarts
+	c.RecoveryMS.Merge(&o.RecoveryMS)
 	c.Misses.Merge(&o.Misses)
 	c.Completed.Merge(&o.Completed)
 	c.LossRate.Merge(&o.LossRate)
@@ -203,6 +220,29 @@ func (r *Result) Table() string {
 			c.Violations.Mean(), c.Degradations.Mean(),
 			c.AdmissionMS.Percentile(50), c.AdmissionMS.Percentile(99))
 	}
+	// Fleet supplement: one row per cell that recorded fleet-layer
+	// activity (spillover, retries, migrations, node restarts, or
+	// crash recoveries).
+	fleetRows := false
+	for _, c := range r.cells {
+		if c.Spillovers+c.Retries+c.Migrations+c.NodeRestarts > 0 || c.RecoveryMS.N() > 0 {
+			fleetRows = true
+			break
+		}
+	}
+	if fleetRows {
+		fmt.Fprintf(&b, "\n%-13s %-10s %-12s %8s %8s %8s %8s %9s %9s\n",
+			"fleet", "costs", "policy", "spill", "retries", "migrate", "restart", "rec p50", "rec p99")
+		for _, c := range r.cells {
+			if c.Spillovers+c.Retries+c.Migrations+c.NodeRestarts == 0 && c.RecoveryMS.N() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-13s %-10s %-12s %8d %8d %8d %8d %8.1fms %8.1fms\n",
+				c.Scenario, c.CostModel, c.Policy,
+				c.Spillovers, c.Retries, c.Migrations, c.NodeRestarts,
+				c.RecoveryMS.Percentile(50), c.RecoveryMS.Percentile(99))
+		}
+	}
 	for _, c := range r.cells {
 		if c.FirstError != "" {
 			fmt.Fprintf(&b, "! %s/%s/%s: %d failed run(s); first: %s\n",
@@ -219,7 +259,10 @@ func (r *Result) Table() string {
 // v3 added the per-cell rdtel/v1 telemetry manifest.
 // v4 added completed_periods and streamer_bytes for the baseline-*
 // comparator family.
-const SchemaVersion = "rdsweep/v4"
+// v5 added the fleet-* counters (fleet_spillovers, fleet_retries,
+// fleet_migrations, fleet_node_restarts) and the pooled
+// fleet_recovery_latency_ms summary.
+const SchemaVersion = "rdsweep/v5"
 
 type summaryJSON struct {
 	N      int     `json:"n"`
@@ -262,6 +305,10 @@ type cellJSON struct {
 	Denied         int64  `json:"denied_admissions"`
 	FaultsInjected int64  `json:"faults_injected"`
 	StreamerBytes  int64  `json:"streamer_bytes"`
+	Spillovers     int64  `json:"fleet_spillovers"`
+	Retries        int64  `json:"fleet_retries"`
+	Migrations     int64  `json:"fleet_migrations"`
+	NodeRestarts   int64  `json:"fleet_node_restarts"`
 
 	Misses         summaryJSON `json:"misses_per_run"`
 	Completed      summaryJSON `json:"completed_periods"`
@@ -273,6 +320,7 @@ type cellJSON struct {
 	Degradations   summaryJSON `json:"degradations"`
 	AdmissionMS    summaryJSON `json:"admission_latency_ms"`
 	AdmissionHist  histJSON    `json:"admission_latency_hist"`
+	RecoveryMS     summaryJSON `json:"fleet_recovery_latency_ms"`
 
 	// Manifest is the cell's rdtel/v1 run manifest: the merged
 	// instrument snapshot plus headline totals derived from it.
@@ -302,6 +350,10 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			Denied:         c.Denied,
 			FaultsInjected: c.FaultsInjected,
 			StreamerBytes:  c.StreamerBytes,
+			Spillovers:     c.Spillovers,
+			Retries:        c.Retries,
+			Migrations:     c.Migrations,
+			NodeRestarts:   c.NodeRestarts,
 			Misses:         summarize(&c.Misses),
 			Completed:      summarize(&c.Completed),
 			LossRate:       summarize(&c.LossRate),
@@ -311,6 +363,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			Violations:     summarize(&c.Violations),
 			Degradations:   summarize(&c.Degradations),
 			AdmissionMS:    summarize(&c.AdmissionMS),
+			RecoveryMS:     summarize(&c.RecoveryMS),
 			AdmissionHist: histJSON{
 				Lo:     c.AdmissionHist.Lo,
 				Width:  c.AdmissionHist.Width,

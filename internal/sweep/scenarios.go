@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/policy"
@@ -45,12 +46,14 @@ const (
 )
 
 // AllPolicies lists every policy variant, in matrix-expansion order:
-// the RD policy variants first, then the baseline-* comparator axis
-// and the streamer allocation policies (baselines.go).
+// the RD policy variants first, then the baseline-* comparator axis,
+// the streamer allocation policies (baselines.go), and the fleet
+// placement policies (fleets.go).
 func AllPolicies() []string {
 	return []string{PolicyInvent, PolicyAudioFirst, PolicyVideoFirst,
 		PolicyBaselineFairShare, PolicyBaselineLottery, PolicyBaselineStride, PolicyBaselineCFS,
-		PolicyStreamerMaxMin, PolicyStreamerMaxThru}
+		PolicyStreamerMaxMin, PolicyStreamerMaxThru,
+		PolicyFleetFirstFit, PolicyFleetLeastLoaded, PolicyFleetRRHash}
 }
 
 func knownPolicy(name string) bool {
@@ -175,6 +178,11 @@ type env struct {
 	// k is set instead of d by comparator scenarios that run a bare
 	// kernel under a baseline scheduler, with no Distributor at all.
 	k *sim.Kernel
+
+	// fl is set instead of d or k by fleet scenarios, which run a
+	// whole internal/fleet cluster; runOne reads the cluster report
+	// rather than a single kernel's stats.
+	fl *fleet.Report
 
 	// chk, when armed via withInvariants, rides the observer chain and
 	// audits the paper's guarantees during the run; runOne finalizes it

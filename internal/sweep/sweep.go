@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
@@ -61,6 +62,17 @@ type RunMetrics struct {
 	// FaultsInjected counts the fault events the run's armed injectors
 	// actually fired.
 	FaultsInjected int64
+
+	// Fleet-layer counters, set by the fleet-* scenarios and zero
+	// everywhere else: placements that survived at least one node
+	// denial, backoff retry rounds, pressure-driven task migrations,
+	// node restarts executed, and per-recovery crash→re-placement
+	// latency samples.
+	Spillovers   int64
+	Retries      int64
+	Migrations   int64
+	NodeRestarts int64
+	RecoveryMS   metrics.Summary
 
 	// CompletedPeriods counts periods whose work finished on time —
 	// the comparator family's headline figure alongside Misses (RD
@@ -263,6 +275,11 @@ func runOne(spec RunSpec) (out RunMetrics) {
 	e := &env{spec: spec, costs: costs, pr: newProbe()}
 	if err := sc.run(e); err != nil {
 		return RunMetrics{Err: err.Error()}
+	}
+	// A fleet scenario runs a whole cluster; its report replaces the
+	// single-kernel stats below.
+	if e.fl != nil {
+		return e.fleetMetrics()
 	}
 	// A scenario either builds a Distributor (e.d) or runs a baseline
 	// comparator on a bare kernel (e.k).
