@@ -3,10 +3,10 @@ GO ?= go
 # The benchmarks tracked in the committed BENCH_*.json baselines (see
 # docs/PERFORMANCE.md): the kernel/scheduler hot-path trio, the end-to-
 # end Table 2 workload, and the substrate micro-benchmarks.
-BENCH_REGEX = KernelStep|PeriodRollover|SweepCell|Table2MPEGDecodeSecond|BenchmarkEventQueue$$|SchedulerSteadyState
-BENCH_PKGS  = . ./internal/sim ./internal/sched ./internal/sweep
+BENCH_REGEX = KernelStep|PeriodRollover|SweepCell|Table2MPEGDecodeSecond|BenchmarkEventQueue$$|SchedulerSteadyState|FlightRecord
+BENCH_PKGS  = . ./internal/sim ./internal/sched ./internal/sweep ./internal/telemetry
 
-.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke baseline-smoke fleet-smoke bench bench-smoke telemetry-smoke telemetry-golden ci
+.PHONY: all build test race lint vet fuzz-smoke sweep-smoke fault-smoke baseline-smoke fleet-smoke flight-smoke bench bench-smoke telemetry-smoke telemetry-golden ci
 
 all: build test lint
 
@@ -43,6 +43,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzFracAdd -fuzztime=10s ./internal/ticks
 	$(GO) test -run=NONE -fuzz=FuzzTickConversions -fuzztime=10s ./internal/ticks
 	$(GO) test -run=NONE -fuzz=FuzzBoxLoad -fuzztime=10s ./internal/policy
+	$(GO) test -run=NONE -fuzz=FuzzReadManifest -fuzztime=10s ./internal/telemetry
 	$(GO) test -run=TestScenarioFuzz -count=1 ./internal/core
 
 # Parallel sweep engine smoke: the engine's own tests under the race
@@ -97,7 +98,7 @@ fleet-smoke:
 	rm -f fleet-w4.json fleet-w1.json
 
 # Telemetry smoke (see docs/OBSERVABILITY.md): the telemetry suite,
-# then a seeded scenario run twice — the rdtel/v1 manifests must be
+# then a seeded scenario run twice — the rdtel/v2 manifests must be
 # byte-identical — and an export that must pass the Chrome trace-event
 # structural validation and byte-match the committed goldens under
 # internal/telemetry/testdata/. -build '' keeps git state out of the
@@ -114,6 +115,25 @@ telemetry-smoke:
 	cmp tel-a.json internal/telemetry/testdata/settop-smoke.manifest.golden
 	cmp tel-trace.json internal/telemetry/testdata/settop-smoke.perfetto.golden
 	rm -f tel-a.json tel-b.json tel-trace.json
+
+# Flight-recorder smoke (see docs/OBSERVABILITY.md "the cluster
+# flight recorder"): one fleet-crash cluster run with full span
+# logging on 4 node workers and on 1, under the race detector. The
+# stitched rdtel/v2 cluster manifests must be byte-identical — the
+# worker-invariance contract extends to span logs, causal links and
+# black-box dumps — the per-node manifest files restitched through
+# rdtrace must reproduce the cluster manifest byte-for-byte, and the
+# multi-track Perfetto export must pass structural validation.
+flight-smoke:
+	$(GO) run -race ./cmd/rdsweep -scenarios fleet-crash -horizon-ms 500 \
+		-cluster-workers 4 -cluster-manifest flight-w4.json -node-manifests flight-nodes
+	$(GO) run -race ./cmd/rdsweep -scenarios fleet-crash -horizon-ms 500 \
+		-cluster-workers 1 -cluster-manifest flight-w1.json
+	cmp flight-w4.json flight-w1.json
+	$(GO) run ./cmd/rdtrace stitch -o flight-stitched.json flight-nodes/*.manifest.json
+	cmp flight-w4.json flight-stitched.json
+	$(GO) run ./cmd/rdtrace export -perfetto -validate -o flight-trace.json flight-w4.json
+	rm -rf flight-w4.json flight-w1.json flight-stitched.json flight-trace.json flight-nodes
 
 telemetry-golden:
 	$(TELEMETRY_RUN) -manifest internal/telemetry/testdata/settop-smoke.manifest.golden > /dev/null
@@ -152,4 +172,4 @@ bench-smoke:
 		| $(GO) run ./cmd/rdperf compare -against BENCH_kernel.json -section current \
 			-threshold 15 $(BENCH_GATE) -gate-units allocs/op,B/op
 
-ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke baseline-smoke fleet-smoke telemetry-smoke bench-smoke
+ci: build vet test race lint fuzz-smoke sweep-smoke fault-smoke baseline-smoke fleet-smoke flight-smoke telemetry-smoke bench-smoke

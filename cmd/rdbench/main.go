@@ -61,7 +61,7 @@ func newDist(cfg core.Config) *core.Distributor {
 func main() {
 	exp := flag.String("exp", "", "run a single experiment by name")
 	list := flag.Bool("list", false, "list experiment names")
-	manifestOut := flag.String("manifest", "", "write an rdtel/v1 manifest aggregating the invocation to this file ('-' for stdout)")
+	manifestOut := flag.String("manifest", "", "write an rdtel/v2 manifest aggregating the invocation to this file ('-' for stdout)")
 	flag.Parse()
 
 	if *list {

@@ -52,7 +52,7 @@ func main() {
 	cols := flag.Int("cols", 100, "timeline width in characters")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.String("json", "", "write the full trace as JSON to this file ('-' for stdout)")
-	manifestOut := flag.String("manifest", "", "write the rdtel/v1 run manifest as JSON to this file ('-' for stdout)")
+	manifestOut := flag.String("manifest", "", "write the rdtel/v2 run manifest as JSON to this file ('-' for stdout)")
 	build := flag.String("build", defaultBuild, "build identifier stamped into the manifest ('' to omit, for byte-comparable output)")
 	flag.Parse()
 

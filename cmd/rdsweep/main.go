@@ -12,6 +12,14 @@
 //	go run ./cmd/rdsweep -scenarios baseline -seeds 8 # the §3.4 comparator family
 //	go run ./cmd/rdsweep -scenarios fleet -seeds 8    # the multi-node fleet family
 //	go run ./cmd/rdsweep -list
+//
+// Cluster-manifest mode runs a single fleet-family spec with full span
+// logging and writes its stitched rdtel/v2 cluster manifest (and,
+// optionally, the per-node manifests it was stitched from):
+//
+//	go run ./cmd/rdsweep -scenarios fleet-crash -cluster-manifest cluster.json
+//	go run ./cmd/rdsweep -scenarios fleet-crash -cluster-manifest cluster.json \
+//	    -node-manifests dir/ -cluster-workers 4
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/ticks"
 )
 
@@ -44,6 +54,10 @@ func main() {
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile    = flag.String("memprofile", "", "write an allocation profile (alloc_objects/alloc_space) to this file")
 		timingJSON    = flag.String("timing-json", "", "write wall-clock sweep throughput to this file as an rdperf metrics map (see cmd/rdperf)")
+
+		clusterManifest = flag.String("cluster-manifest", "", "run one fleet-family spec with full span logging and write its stitched rdtel/v2 cluster manifest to this file ('-' for stdout); requires exactly one scenario, cost model, policy and seed")
+		nodeManifests   = flag.String("node-manifests", "", "with -cluster-manifest: also write the coordinator and per-node manifests into this directory (coord.manifest.json, node000.manifest.json, ...)")
+		clusterWorkers  = flag.Int("cluster-workers", 1, "with -cluster-manifest: cluster node-advance pool size (never affects output bytes)")
 	)
 	flag.Parse()
 
@@ -87,6 +101,19 @@ func main() {
 			strings.Join(sweep.CostModelNames(), ", "), strings.Join(sweep.DefaultCostModels(), ", "))
 		fmt.Printf("policies:    %s\n", strings.Join(sweep.AllPolicies(), ", "))
 		return
+	}
+
+	if *clusterManifest != "" {
+		if err := runClusterManifest(*scenariosFlag, *costsFlag, *policiesFlag,
+			*seedBase, *horizonMS, *clusterWorkers, *clusterManifest, *nodeManifests); err != nil {
+			fmt.Fprintln(os.Stderr, "rdsweep:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *nodeManifests != "" {
+		fmt.Fprintln(os.Stderr, "rdsweep: -node-manifests requires -cluster-manifest")
+		os.Exit(2)
 	}
 
 	m := sweep.Matrix{
@@ -147,6 +174,103 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdsweep: %d run(s) failed\n", n)
 		os.Exit(1)
 	}
+}
+
+// runClusterManifest is the -cluster-manifest mode: one fleet-family
+// run with full span logging, its stitched cluster manifest written to
+// path and (optionally) the coordinator/per-node manifests it stitches
+// into a directory.
+func runClusterManifest(scenarios, costs, policies string, seed uint64, horizonMS int64, workers int, path, nodeDir string) error {
+	scenario, err := singleValue("scenarios", splitOrAll(scenarios), "")
+	if err != nil {
+		return err
+	}
+	if costs == strings.Join(sweep.DefaultCostModels(), ",") {
+		costs = "paper" // untouched -costs default: pick the paper model
+	}
+	cost, err := singleValue("costs", splitOrAll(costs), "paper")
+	if err != nil {
+		return err
+	}
+	policy, err := singleValue("policies", splitOrAll(policies), sweep.PolicyInvent)
+	if err != nil {
+		return err
+	}
+	horizon := ticks.FromMilliseconds(horizonMS)
+	if horizon <= 0 {
+		horizon = sweep.DefaultHorizon
+	}
+	spec := sweep.RunSpec{
+		Scenario: scenario, CostModel: cost, Policy: policy,
+		Seed: seed, Horizon: horizon,
+	}
+	c, _, err := sweep.RunFleetCluster(spec, workers)
+	if err != nil {
+		return err
+	}
+
+	cluster, err := c.Manifest()
+	if err != nil {
+		return err
+	}
+	if err := writeManifestFile(path, cluster); err != nil {
+		return err
+	}
+	if nodeDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(nodeDir, 0o755); err != nil {
+		return err
+	}
+	coord, err := c.CoordManifest()
+	if err != nil {
+		return err
+	}
+	if err := writeManifestFile(filepath.Join(nodeDir, "coord.manifest.json"), coord); err != nil {
+		return err
+	}
+	for i := 0; i < c.NodeCount(); i++ {
+		nm, err := c.NodeManifest(i)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("node%03d.manifest.json", i)
+		if err := writeManifestFile(filepath.Join(nodeDir, name), nm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// singleValue reduces a split flag to the one value cluster mode
+// needs: an explicit single entry wins, 'all'/empty falls back to
+// fallback (or errors when there is none), multiple entries error.
+func singleValue(name string, vals []string, fallback string) (string, error) {
+	switch {
+	case len(vals) == 1:
+		return vals[0], nil
+	case len(vals) == 0 && fallback != "":
+		return fallback, nil
+	case len(vals) == 0:
+		return "", fmt.Errorf("-cluster-manifest needs exactly one value for -%s", name)
+	default:
+		return "", fmt.Errorf("-cluster-manifest needs exactly one value for -%s, got %d", name, len(vals))
+	}
+}
+
+func writeManifestFile(path string, m *telemetry.Manifest) error {
+	if path == "-" {
+		return m.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func splitOrAll(s string) []string {

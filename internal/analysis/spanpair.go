@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -12,12 +13,17 @@ import (
 // already-closed spans and need no pairing.
 var SpanPair = &Analyzer{
 	Name: "spanpair",
-	Doc: "enforce telemetry Span begin/end pairing and defer discipline\n\n" +
+	Doc: "enforce telemetry Span begin/end pairing, defer discipline, and link hygiene\n\n" +
 		"A span begun with Spans.Begin and never ended renders as an unterminated\n" +
 		"bar in the Perfetto export and skews duration rollups. The Begin result\n" +
 		"must be kept and either passed to Spans.End in the same function or handed\n" +
 		"off (returned, stored, passed on). A deferred End inside a loop runs only\n" +
-		"at function exit, ending every iteration's span at the same instant.",
+		"at function exit, ending every iteration's span at the same instant.\n\n" +
+		"Spans.SetLink records a causal edge, so its target must be a SpanID the\n" +
+		"span API actually produced (Begin/Complete/Instant/FindLast, or a value\n" +
+		"handed in from elsewhere). A constant target, or a local that only ever\n" +
+		"holds constants, records an edge to a span that was never begun — the\n" +
+		"stitcher silently drops it and the causal chain breaks.",
 	Run: runSpanPair,
 }
 
@@ -32,6 +38,7 @@ func runSpanPair(pass *Pass) error {
 				continue
 			}
 			checkSpanPairs(pass, fd.Body)
+			checkSpanLinks(pass, fd.Body)
 		}
 	}
 	return nil
@@ -173,6 +180,89 @@ func checkSpanPairs(pass *Pass, body *ast.BlockStmt) {
 				}
 			}
 		}
+		return true
+	})
+}
+
+// checkSpanLinks audits every Spans.SetLink target in the function: a
+// compile-time constant, or a local variable that only ever holds
+// constants, names a span that was never begun. (SetLink tolerates a
+// zero target at runtime, so the mistake is silent: the link is simply
+// dropped and the causal chain ends early.) Targets read from
+// parameters, fields, calls, or any non-constant assignment are
+// trusted — the span was produced somewhere this function can't see.
+func checkSpanLinks(pass *Pass, body *ast.BlockStmt) {
+	// Variables with at least one non-constant assignment, and
+	// variables that are closure parameters or have their address
+	// taken — all exempt from the constant-only judgment.
+	exempt := map[*types.Var]bool{}
+	markExempt := func(e ast.Expr) {
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+				exempt[v] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				for _, l := range s.Lhs { // multi-value: never constant
+					markExempt(l)
+				}
+				return true
+			}
+			for i, l := range s.Lhs {
+				if pass.TypesInfo.Types[s.Rhs[i]].Value == nil {
+					markExempt(l)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) && pass.TypesInfo.Types[s.Values[i]].Value == nil {
+					markExempt(name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				markExempt(s.X) // address taken: assigned out of view
+			}
+		case *ast.FuncLit:
+			for _, f := range s.Type.Params.List {
+				for _, name := range f.Names {
+					markExempt(name)
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !spansMethodCall(pass, call, "SetLink") || len(call.Args) != 3 {
+			return true
+		}
+		target := unparen(call.Args[2])
+		if pass.TypesInfo.Types[target].Value != nil {
+			pass.Reportf(target.Pos(),
+				"SetLink target is a constant, not a span that was begun; link a SpanID from Begin/Complete/Instant/FindLast")
+			return true
+		}
+		id, ok := target.(*ast.Ident)
+		if !ok {
+			return true // field/index/call: produced elsewhere, trusted
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || exempt[v] {
+			return true
+		}
+		// Only judge variables declared inside this function; anything
+		// from an outer scope (parameters included) is trusted.
+		if v.Pos() < body.Pos() || v.Pos() > body.End() {
+			return true
+		}
+		pass.Reportf(target.Pos(),
+			"SetLink target %s never holds a span ID in this function; link a SpanID from Begin/Complete/Instant/FindLast", v.Name())
 		return true
 	})
 }

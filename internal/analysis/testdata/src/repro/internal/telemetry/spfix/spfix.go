@@ -1,6 +1,6 @@
 // spfix holds spanpair true positives: discarded Begin results, a
-// span that is neither ended nor handed off, and a deferred End
-// inside a loop.
+// span that is neither ended nor handed off, a deferred End inside a
+// loop, and SetLink targets that never held a begun span.
 package spfix
 
 import "repro/internal/telemetry"
@@ -22,4 +22,26 @@ func deferInLoop(s *telemetry.Spans, at int64) {
 		id := s.Begin(at+i, "sched", "slice", 0, 0)
 		defer s.End(id, at+i+1) // want "inside a loop"
 	}
+}
+
+func linkConstant(s *telemetry.Spans, at int64) {
+	id := s.Instant(at, "fleet", "place", 0, 0, "")
+	s.SetLink(id, 0, 7) // want "constant"
+}
+
+func linkZero(s *telemetry.Spans, at int64) {
+	id := s.Instant(at, "fleet", "place", 0, 0, "")
+	s.SetLink(id, -1, 0) // want "constant"
+}
+
+func linkNeverSpan(s *telemetry.Spans, at int64) {
+	id := s.Instant(at, "fleet", "place", 0, 0, "")
+	var target telemetry.SpanID
+	s.SetLink(id, 0, target) // want "never holds a span ID"
+}
+
+func linkConstOnlyLocal(s *telemetry.Spans, at int64) {
+	id := s.Instant(at, "fleet", "place", 0, 0, "")
+	target := telemetry.SpanID(3)
+	s.SetLink(id, 0, target) // want "never holds a span ID"
 }

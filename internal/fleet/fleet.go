@@ -150,6 +150,19 @@ type Config struct {
 	// dies with a crash and returns with the restart, and is not part
 	// of the cluster guarantee ledger.
 	NodeInit func(d *core.Distributor, node int) error
+
+	// SpanLog retains every node's full decision-span log, which a
+	// stitched cluster manifest needs to show a guarantee's complete
+	// lifecycle. Off by default: each node then keeps only its flight
+	// recorder's ring, so telemetry memory stays bounded at fleet
+	// scale while the black box and causal links still work.
+	SpanLog bool
+	// FlightSpans and FlightEvents size each node's (and the
+	// coordinator's) black-box rings; zero selects the telemetry
+	// package defaults. Ring capacity never affects a run's
+	// trajectory, only how much history a dump can carry.
+	FlightSpans  int
+	FlightEvents int
 }
 
 // Admission is one guaranteed-task arrival presented to the cluster
@@ -191,6 +204,14 @@ type admRec struct {
 	crashAt    ticks.Ticks
 	timesLost      int
 	timesRecovered int
+
+	// Causal-chain tip: the last span recorded for this guarantee's
+	// lifecycle, as a (node tag, span ID) address. Every subsequent
+	// fleet action links its span back here, so the stitched cluster
+	// manifest reads a placement → migration → crash → re-admission
+	// history as one linked chain across nodes.
+	linkNode int32
+	linkSpan telemetry.SpanID
 }
 
 // --- the coordinator action queue ---
@@ -299,13 +320,29 @@ type node struct {
 	chk *invariant.Checker
 	// flog is the node's own event log: injectors armed on this node
 	// record here from the parallel phase, so fire-time writes stay
-	// node-local. Merged into the cluster report in node-ID order.
+	// node-local. Merged into the cluster report in node-ID order,
+	// and teed into the node's flight recorder.
 	flog metrics.EventLog
+
+	// tel is the node's telemetry set. It outlives incarnations: a
+	// restarted kernel re-registers the same instrument names
+	// (get-or-create) and keeps appending to the same span log, so a
+	// node's history reads continuously across crashes. The span log
+	// is either unbounded (Config.SpanLog) or the flight ring itself.
+	tel *telemetry.Set
+	// flight is the node's always-on black box: the last-N spans and
+	// event lines, dumped when the node crashes, stalls, or trips its
+	// invariant checker.
+	flight *telemetry.Flight
 
 	down     bool
 	restarts int
 	placed   []*admRec
 	stallErr string
+	// violDumped / stallDumped dedupe flight dumps: each new breach
+	// dumps once, at the barrier that notices it.
+	violDumped  int64
+	stallDumped bool
 
 	// Accumulators over finished incarnations; statsBase subtracts
 	// the idle skip a restarted kernel performs to rejoin cluster
@@ -324,6 +361,7 @@ func (n *node) build(at ticks.Ticks) {
 		Seed:                    n.seed,
 		SwitchCosts:             &n.costs,
 		InterruptReservePercent: n.cfg.InterruptReservePercent,
+		Telemetry:               n.tel,
 	}
 	n.chk = nil
 	if n.cfg.Invariants {
@@ -336,6 +374,7 @@ func (n *node) build(at ticks.Ticks) {
 	if n.chk != nil {
 		n.chk.Bind(n.d.Kernel(), n.d.Manager(), n.d.Scheduler())
 		n.chk.LogTo(&n.flog)
+		n.chk.EnableTelemetry(n.tel)
 	}
 	if at > 0 {
 		// A restarted kernel idles forward to rejoin cluster time; the
@@ -414,9 +453,15 @@ type Cluster struct {
 	seqCtr  int64
 	backoff *sim.RNG
 	now     ticks.Ticks
+	horizon ticks.Ticks
 	flog    metrics.EventLog
 	tel     *telemetry.Set
+	flight  *telemetry.Flight
 	ran     bool
+
+	// flightDumps collects every black-box dump the run produced, in
+	// trigger order (barrier order, node order within a barrier).
+	flightDumps []telemetry.FlightDump
 
 	arrivals, placedN, spillovers, retries, rejected int64
 	deniedAttempts                                   int64
@@ -428,6 +473,7 @@ type Cluster struct {
 
 	cPlaced, cSpill, cRetry, cReject, cMigrate *telemetry.Counter
 	cCrash, cRestart, cLost, cRecovered, cDrop *telemetry.Counter
+	cFlightDump                                *telemetry.Counter
 }
 
 // New validates the config and assembles the fleet at virtual time
@@ -464,8 +510,15 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:     cfg,
 		backoff: sim.NewRNG(sim.SplitSeed(cfg.Seed, StreamBackoff)),
-		tel:     &telemetry.Set{Registry: telemetry.NewRegistry()},
+		tel:     telemetry.NewSet(),
+		flight:  telemetry.NewFlight(cfg.FlightSpans, cfg.FlightEvents),
 	}
+	// The coordinator's span log records every fleet decision (bounded
+	// by the admission pipeline, so always-full retention is cheap);
+	// its black box mirrors the tail of both the spans and the event
+	// log for conservation-breach dumps.
+	c.tel.Spans.TeeFlight(c.flight)
+	c.flog.Tee(c.flight.Event)
 	reg := c.tel.Reg()
 	c.cPlaced = reg.Counter("fleet.placed")
 	c.cSpill = reg.Counter("fleet.spillovers")
@@ -477,6 +530,7 @@ func New(cfg Config) (*Cluster, error) {
 	c.cLost = reg.Counter("fleet.lost_to_crash")
 	c.cRecovered = reg.Counter("fleet.recovered")
 	c.cDrop = reg.Counter("fleet.lost_recorded")
+	c.cFlightDump = reg.Counter("fleet.flight.dumps")
 
 	seeds := sim.NewRNG(sim.SplitSeed(cfg.Seed, StreamNodeSeeds))
 	costs := sim.ZeroSwitchCosts()
@@ -486,6 +540,14 @@ func New(cfg Config) (*Cluster, error) {
 	c.nodes = make([]*node, cfg.Nodes)
 	for i := range c.nodes {
 		n := &node{id: i, seed: seeds.Uint64(), cfg: &c.cfg, costs: costs, pr: &nodeProbe{}}
+		n.flight = telemetry.NewFlight(cfg.FlightSpans, cfg.FlightEvents)
+		spans := n.flight.Ring()
+		if cfg.SpanLog {
+			spans = telemetry.NewSpans()
+			spans.TeeFlight(n.flight)
+		}
+		n.tel = &telemetry.Set{Registry: telemetry.NewRegistry(), Spans: spans}
+		n.flog.Tee(n.flight.Event)
 		n.build(0)
 		c.nodes[i] = n
 	}
@@ -571,6 +633,7 @@ func (c *Cluster) Run(horizon ticks.Ticks) *Report {
 		panic("fleet: Run horizon must be positive")
 	}
 	c.ran = true
+	c.horizon = horizon
 	c.barrier(0)
 	for c.now < horizon {
 		next := c.now + c.cfg.Epoch
@@ -642,8 +705,68 @@ func (c *Cluster) barrier(now ticks.Ticks) {
 			c.doRestart(a.node, now)
 		}
 	}
-	c.completionScan()
+	c.completionScan(now)
 	c.migrationScan(now)
+	c.flightScan(now)
+}
+
+// fleetSpan records one coordinator decision instant (cat "fleet")
+// and, when it belongs to an admission's lifecycle, links it to the
+// chain tip and advances the tip to this span. Returns the span ID
+// for callers that re-tip onto a node-side span.
+func (c *Cluster) fleetSpan(now ticks.Ticks, name string, a *admRec, detail string) telemetry.SpanID {
+	id := c.tel.SpanLog().Instant(now, "fleet", name, telemetry.NoTask, 0, detail)
+	if a != nil && id != 0 {
+		if a.linkSpan != 0 {
+			c.tel.SpanLog().SetLink(id, a.linkNode, a.linkSpan)
+		}
+		a.linkNode, a.linkSpan = telemetry.CoordTag, id
+	}
+	return id
+}
+
+// tipToAdmission moves an admission's chain tip onto the node-side
+// admission span the placement just produced, and links that span
+// back to the coordinator decision — the cross-node half of the
+// causal chain. The admission span is the newest "admission"-cat span
+// in the node's log: RequestAdmittance records it synchronously and
+// the coordinator owns the log until the next parallel phase.
+func (c *Cluster) tipToAdmission(n *node, a *admRec, coordSpan telemetry.SpanID) {
+	log := n.tel.SpanLog()
+	admSpan := log.FindLast("admission")
+	if admSpan == 0 {
+		return
+	}
+	log.SetLink(admSpan, telemetry.CoordTag, coordSpan)
+	a.linkNode, a.linkSpan = telemetry.NodeTag(n.id), admSpan
+}
+
+// dump snapshots a flight recorder into the run's post-mortem record.
+func (c *Cluster) dump(f *telemetry.Flight, tag int32, reason string, at ticks.Ticks) {
+	c.flightDumps = append(c.flightDumps, f.Dump(tag, reason, at))
+	c.cFlightDump.Inc()
+	c.flog.Record(at, "fleet.flight-dump",
+		fmt.Sprintf("%s black box dumped (%s)", telemetry.TagString(tag), reason))
+}
+
+// flightScan fires black-box dumps for breaches the parallel phase
+// surfaced: a node whose invariant checker recorded new violations,
+// or a node whose kernel tripped the livelock guard. Crash dumps are
+// taken in doCrash, where the dying incarnation is still at hand.
+func (c *Cluster) flightScan(now ticks.Ticks) {
+	for _, n := range c.nodes {
+		if n.stallErr != "" && !n.stallDumped {
+			n.stallDumped = true
+			c.dump(n.flight, telemetry.NodeTag(n.id), "stall", now)
+		}
+		if n.down || n.chk == nil {
+			continue
+		}
+		if v := n.accViolations + int64(n.chk.NViolations()); v > n.violDumped {
+			n.violDumped = v
+			c.dump(n.flight, telemetry.NodeTag(n.id), "invariant", now)
+		}
+	}
 }
 
 // place runs one full placement scan for a, in the policy's node
@@ -668,9 +791,11 @@ func (c *Cluster) place(a *admRec, now ticks.Ticks) {
 		n.placed = append(n.placed, a)
 		c.placedN++
 		c.cPlaced.Inc()
+		spanName := "place"
 		if denials > 0 {
 			c.spillovers++
 			c.cSpill.Inc()
+			spanName = "spill"
 			c.flog.Record(now, "fleet.spill",
 				fmt.Sprintf("%s spilled to node %d after %d denial(s)", a.Name, ni, denials))
 		}
@@ -679,10 +804,13 @@ func (c *Cluster) place(a *admRec, now ticks.Ticks) {
 			a.timesRecovered++
 			c.recovered++
 			c.cRecovered.Inc()
+			spanName = "recover"
 			c.recoveryMS.Add((now - a.crashAt).MillisecondsF())
 			c.flog.Record(now, "fleet.recover",
 				fmt.Sprintf("%s re-placed on node %d, %v after its node crashed", a.Name, ni, now-a.crashAt))
 		}
+		p := c.fleetSpan(now, spanName, a, fmt.Sprintf("%s -> node %d", a.Name, ni))
+		c.tipToAdmission(n, a, p)
 		return
 	}
 	a.attempts++
@@ -693,6 +821,7 @@ func (c *Cluster) place(a *admRec, now ticks.Ticks) {
 	delay := c.backoffDelay(a.attempts)
 	c.retries++
 	c.cRetry.Inc()
+	c.fleetSpan(now, "backoff", a, fmt.Sprintf("%s attempt %d", a.Name, a.attempts))
 	c.flog.Record(now, "fleet.backoff",
 		fmt.Sprintf("%s attempt %d denied fleet-wide; retry in %v", a.Name, a.attempts, delay))
 	c.push(now+delay, actRetry, a, -1)
@@ -720,6 +849,7 @@ func (c *Cluster) abandon(a *admRec, now ticks.Ticks, why string) {
 		a.state = admLost
 		c.lostRecorded++
 		c.cDrop.Inc()
+		c.fleetSpan(now, "lost", a, fmt.Sprintf("%s: %s", a.Name, why))
 		c.flog.Record(now, "fleet.lost",
 			fmt.Sprintf("%s: guarantee lost to node crash, not re-placed (%s); recorded as degradation", a.Name, why))
 		return
@@ -727,6 +857,7 @@ func (c *Cluster) abandon(a *admRec, now ticks.Ticks, why string) {
 	a.state = admRejected
 	c.rejected++
 	c.cReject.Inc()
+	c.fleetSpan(now, "reject", a, fmt.Sprintf("%s: %s", a.Name, why))
 	c.flog.Record(now, "fleet.reject", fmt.Sprintf("%s rejected fleet-wide (%s)", a.Name, why))
 }
 
@@ -782,8 +913,14 @@ func (c *Cluster) doCrash(ni int, now ticks.Ticks) {
 	n.d, n.chk = nil, nil
 	c.crashes++
 	c.cCrash.Inc()
+	c.tel.SpanLog().Instant(now, "fleet", "crash", telemetry.NoTask, 0,
+		fmt.Sprintf("node %d; %d guarantee(s) lost", ni, len(lost)))
 	c.flog.Record(now, "fault.node-crash",
 		fmt.Sprintf("node %d crashed; %d fleet guarantee(s) lost, re-admitting", ni, len(lost)))
+	// The crash is a breach by definition: capture the dying node's
+	// black box now, while its last spans and events are still the
+	// most recent thing in the rings.
+	c.dump(n.flight, telemetry.NodeTag(ni), "node-crash", now)
 	for _, a := range lost {
 		a.state = admPending
 		a.node, a.id = -1, task.NoID
@@ -793,6 +930,7 @@ func (c *Cluster) doCrash(ni int, now ticks.Ticks) {
 		a.timesLost++
 		c.lostToCrash++
 		c.cLost.Inc()
+		c.fleetSpan(now, "crash-readmit", a, fmt.Sprintf("%s lost with node %d", a.Name, ni))
 		c.push(now, actRetry, a, -1)
 	}
 }
@@ -811,6 +949,8 @@ func (c *Cluster) doRestart(ni int, now ticks.Ticks) {
 	n.restarts++
 	c.restarts++
 	c.cRestart.Inc()
+	c.tel.SpanLog().Instant(now, "fleet", "restart", telemetry.NoTask, 0,
+		fmt.Sprintf("node %d incarnation %d", ni, n.restarts+1))
 	n.build(now)
 	c.flog.Record(now, "fault.node-restart",
 		fmt.Sprintf("node %d restarted with a fresh kernel (restart #%d)", ni, n.restarts))
@@ -823,7 +963,7 @@ func (c *Cluster) doRestart(ni int, now ticks.Ticks) {
 // in full. The scheduler cannot be used here — it only learns a task
 // when its first grant is collected, which may be an epoch after
 // placement.
-func (c *Cluster) completionScan() {
+func (c *Cluster) completionScan(now ticks.Ticks) {
 	for _, n := range c.nodes {
 		if n.down || n.d == nil || len(n.placed) == 0 {
 			continue
@@ -836,6 +976,7 @@ func (c *Cluster) completionScan() {
 			}
 			a.state = admDone
 			a.id = task.NoID
+			c.fleetSpan(now, "complete", a, fmt.Sprintf("%s ran out on node %d", a.Name, n.id))
 		}
 		n.placed = kept
 	}
@@ -885,6 +1026,8 @@ func (c *Cluster) migrate(a *admRec, src *node, now ticks.Ticks) {
 		t.placed = append(t.placed, a)
 		c.migrations++
 		c.cMigrate.Inc()
+		m := c.fleetSpan(now, "migrate", a, fmt.Sprintf("%s node %d -> %d", a.Name, src.id, ni))
+		c.tipToAdmission(t, a, m)
 		c.flog.Record(now, "fleet.migrate",
 			fmt.Sprintf("%s moved node %d -> %d under shed pressure; %v transfer charged to target",
 				a.Name, src.id, ni, c.cfg.MigrationCost))
@@ -912,6 +1055,19 @@ func (c *Cluster) finish(horizon ticks.Ticks) {
 	for _, n := range c.nodes {
 		if !n.down {
 			n.retire(true)
+		}
+	}
+	// Finalized checkers can surface stuck-period breaches that no
+	// barrier saw; give those a horizon-time dump too. retire(true)
+	// already folded the live checker's count into accViolations, so
+	// compare against the accumulator alone.
+	for _, n := range c.nodes {
+		if n.down {
+			continue
+		}
+		if n.accViolations > n.violDumped {
+			n.violDumped = n.accViolations
+			c.dump(n.flight, telemetry.NodeTag(n.id), "invariant", horizon)
 		}
 	}
 }
@@ -1005,18 +1161,44 @@ type Report struct {
 	// and node-init failures; non-empty means the run is invalid.
 	Stalled []string
 
-	// Telemetry is the cluster registry snapshot (fleet.* counters).
+	// Telemetry is the merged cluster snapshot: the coordinator's
+	// fleet.* counters unioned with every node's own registry
+	// (sched.*, rm.*, sim.*, invariant.*), merged coordinator-first
+	// then in node-ID order — worker-count invariant like every other
+	// aggregate here.
 	Telemetry telemetry.Snapshot
+
+	// PerNode is each node's own telemetry snapshot, in node-ID order,
+	// so a report can attribute misses or pressure to a specific node
+	// instead of the flat cluster union.
+	PerNode []NodeTelemetry
+
+	// FlightDumps are the run's black-box artifacts, in trigger order:
+	// one per node crash, per newly noticed invariant breach, per
+	// stall, and per conservation-audit failure.
+	FlightDumps []telemetry.FlightDump
 
 	// Log is the merged event log: coordinator events first, then
 	// each node's own log in node-ID order.
 	Log metrics.EventLog
 }
 
+// NodeTelemetry is one node's slice of the report.
+type NodeTelemetry struct {
+	Node      int
+	Restarts  int
+	Telemetry telemetry.Snapshot
+}
+
 func (c *Cluster) report(horizon ticks.Ticks) *Report {
 	probs := c.auditConservation()
 	for _, p := range probs {
 		c.flog.Record(horizon, "invariant.fleet-conservation", p)
+	}
+	if len(probs) > 0 {
+		// A broken ledger is exactly what the coordinator's black box
+		// exists for: dump it with the breach freshly logged.
+		c.dump(c.flight, telemetry.CoordTag, "fleet-conservation", horizon)
 	}
 	r := &Report{
 		Nodes:          len(c.nodes),
@@ -1039,8 +1221,11 @@ func (c *Cluster) report(horizon ticks.Ticks) *Report {
 	}
 	r.RecoveryMS.Merge(&c.recoveryMS)
 	r.Log.Merge(&c.flog)
+	r.Telemetry = c.tel.Reg().Snapshot()
+	r.PerNode = make([]NodeTelemetry, len(c.nodes))
+	r.FlightDumps = c.flightDumps
 	var elapsed, busy, sw, irq ticks.Ticks
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
 		r.Misses += n.pr.misses
 		r.Periods += n.pr.periods
 		r.Degradations += n.accDegradations
@@ -1056,6 +1241,9 @@ func (c *Cluster) report(horizon ticks.Ticks) *Report {
 			r.Stalled = append(r.Stalled, n.initErr)
 		}
 		r.Log.Merge(&n.flog)
+		snap := n.tel.Reg().Snapshot()
+		r.PerNode[i] = NodeTelemetry{Node: i, Restarts: n.restarts, Telemetry: snap}
+		r.Telemetry.Merge(snap)
 	}
 	if elapsed > 0 {
 		r.Utilization = float64(busy) / float64(elapsed)
@@ -1063,7 +1251,6 @@ func (c *Cluster) report(horizon ticks.Ticks) *Report {
 		r.InterruptLoad = float64(irq) / float64(elapsed)
 	}
 	r.FaultsInjected = int64(r.Log.KindPrefixCount("fault."))
-	r.Telemetry = c.tel.Reg().Snapshot()
 	return r
 }
 

@@ -136,6 +136,11 @@ func (c *Checker) Violations() []Violation {
 	return out
 }
 
+// NViolations reports the violation count without copying the record
+// — the cheap poll the fleet's barrier loop uses to decide whether a
+// node's black box needs dumping.
+func (c *Checker) NViolations() int { return len(c.violations) }
+
 // PeriodsClosed reports how many periods the Checker has audited —
 // tests use it to prove the checker actually saw the workload.
 func (c *Checker) PeriodsClosed() int64 { return c.periodsClosed }

@@ -22,11 +22,23 @@ type Event struct {
 // order so sweep aggregation is worker-count invariant.
 type EventLog struct {
 	events []Event
+	tee    func(at ticks.Ticks, kind, detail string)
 }
 
 // Record appends one event.
 func (l *EventLog) Record(at ticks.Ticks, kind, detail string) {
 	l.events = append(l.events, Event{At: at, Kind: kind, Detail: detail})
+	if l.tee != nil {
+		l.tee(at, kind, detail)
+	}
+}
+
+// Tee mirrors every subsequent Record into fn as well — how a node's
+// event log feeds its telemetry flight recorder without this package
+// importing telemetry. Merge does not tee: merged events were already
+// recorded (and teed) on their source log.
+func (l *EventLog) Tee(fn func(at ticks.Ticks, kind, detail string)) {
+	l.tee = fn
 }
 
 // Merge appends all of o's events to l, leaving o unchanged. Events

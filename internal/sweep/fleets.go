@@ -116,6 +116,10 @@ func (e *env) runFleet(cfg fleet.Config, perNode, topPct int, injs ...fault.Node
 	cfg.SwitchCosts = &e.costs
 	cfg.Placement = placementFor(e.spec.Policy)
 	cfg.Workers = 1 // the sweep already parallelizes across runs
+	if e.fleetWorkers > 0 {
+		cfg.Workers = e.fleetWorkers
+	}
+	cfg.SpanLog = e.fleetSpanLog
 	cfg.Invariants = true
 	c, err := fleet.New(cfg)
 	if err != nil {
@@ -148,11 +152,45 @@ func (e *env) runFleet(cfg fleet.Config, perNode, topPct int, injs ...fault.Node
 
 	rep := c.Run(e.spec.Horizon)
 	e.fl = rep
+	if e.keepFleet {
+		e.flc = c
+	}
 	e.quality = func(m *RunMetrics) {
 		m.Loss = rep.Misses + rep.LostRecorded
 		m.Opportunities = rep.Periods
 	}
 	return nil
+}
+
+// RunFleetCluster executes one fleet-family spec as a live cluster
+// with full per-node span logging and returns the cluster alongside
+// its report, so the caller can extract rdtel/v2 manifests
+// (Cluster.Manifest, CoordManifest, NodeManifest). workers sets the
+// cluster's node-advance pool size; it never changes any result byte.
+// This is the engine behind rdsweep -cluster-manifest.
+func RunFleetCluster(spec RunSpec, workers int) (*fleet.Cluster, *fleet.Report, error) {
+	sc, ok := scenarioByName(spec.Scenario)
+	if !ok {
+		return nil, nil, fmt.Errorf("sweep: unknown scenario %q", spec.Scenario)
+	}
+	if !sc.supports(spec.Policy) {
+		return nil, nil, fmt.Errorf("sweep: scenario %q does not support policy %q", spec.Scenario, spec.Policy)
+	}
+	costs, ok := costModelByName(spec.CostModel)
+	if !ok {
+		return nil, nil, fmt.Errorf("sweep: unknown cost model %q", spec.CostModel)
+	}
+	e := &env{
+		spec: spec, costs: costs, pr: newProbe(),
+		fleetWorkers: workers, fleetSpanLog: true, keepFleet: true,
+	}
+	if err := sc.run(e); err != nil {
+		return nil, nil, err
+	}
+	if e.flc == nil {
+		return nil, nil, fmt.Errorf("sweep: scenario %q is not a fleet scenario", spec.Scenario)
+	}
+	return e.flc, e.fl, nil
 }
 
 // fleetMetrics folds a cluster report into RunMetrics — the fleet
@@ -178,6 +216,7 @@ func (e *env) fleetMetrics() (out RunMetrics) {
 	out.Migrations = rep.Migrations
 	out.NodeRestarts = rep.Restarts
 	out.RecoveryMS.Merge(&rep.RecoveryMS)
+	out.FlightDumps = int64(len(rep.FlightDumps))
 	out.Telemetry = rep.Telemetry
 	if e.quality != nil {
 		e.quality(&out)

@@ -44,6 +44,7 @@ type Cell struct {
 	Retries      int64
 	Migrations   int64
 	NodeRestarts int64
+	FlightDumps  int64 // black-box flight-recorder dumps
 
 	Misses         metrics.Summary // deadline misses per run
 	Completed      metrics.Summary // completed periods per run (comparator family)
@@ -96,6 +97,7 @@ func (c *Cell) add(spec RunSpec, r RunMetrics) {
 	c.Retries += r.Retries
 	c.Migrations += r.Migrations
 	c.NodeRestarts += r.NodeRestarts
+	c.FlightDumps += r.FlightDumps
 	c.RecoveryMS.Merge(&r.RecoveryMS)
 	c.Misses.Add(float64(r.Misses))
 	c.Completed.Add(float64(r.CompletedPeriods))
@@ -130,6 +132,7 @@ func (c *Cell) merge(o *Cell) {
 	c.Retries += o.Retries
 	c.Migrations += o.Migrations
 	c.NodeRestarts += o.NodeRestarts
+	c.FlightDumps += o.FlightDumps
 	c.RecoveryMS.Merge(&o.RecoveryMS)
 	c.Misses.Merge(&o.Misses)
 	c.Completed.Merge(&o.Completed)
@@ -143,7 +146,7 @@ func (c *Cell) merge(o *Cell) {
 	c.AdmissionHist.Merge(o.AdmissionHist)
 }
 
-// manifest builds the cell's embedded rdtel/v1 manifest. Seed and
+// manifest builds the cell's embedded rdtel/v2 manifest. Seed and
 // horizon come from the cell's first contributing run in spec order;
 // the config digest hashes the cell key; the totals are read straight
 // out of the merged counter snapshot. A cell with no successful runs
@@ -262,7 +265,9 @@ func (r *Result) Table() string {
 // v5 added the fleet-* counters (fleet_spillovers, fleet_retries,
 // fleet_migrations, fleet_node_restarts) and the pooled
 // fleet_recovery_latency_ms summary.
-const SchemaVersion = "rdsweep/v5"
+// v6 added fleet_flight_dumps, the black-box flight-recorder dump
+// count, and the per-cell manifests moved to the rdtel/v2 schema.
+const SchemaVersion = "rdsweep/v6"
 
 type summaryJSON struct {
 	N      int     `json:"n"`
@@ -309,6 +314,7 @@ type cellJSON struct {
 	Retries        int64  `json:"fleet_retries"`
 	Migrations     int64  `json:"fleet_migrations"`
 	NodeRestarts   int64  `json:"fleet_node_restarts"`
+	FlightDumps    int64  `json:"fleet_flight_dumps"`
 
 	Misses         summaryJSON `json:"misses_per_run"`
 	Completed      summaryJSON `json:"completed_periods"`
@@ -322,7 +328,7 @@ type cellJSON struct {
 	AdmissionHist  histJSON    `json:"admission_latency_hist"`
 	RecoveryMS     summaryJSON `json:"fleet_recovery_latency_ms"`
 
-	// Manifest is the cell's rdtel/v1 run manifest: the merged
+	// Manifest is the cell's rdtel/v2 run manifest: the merged
 	// instrument snapshot plus headline totals derived from it.
 	Manifest *telemetry.Manifest `json:"manifest,omitempty"`
 }
@@ -354,6 +360,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			Retries:        c.Retries,
 			Migrations:     c.Migrations,
 			NodeRestarts:   c.NodeRestarts,
+			FlightDumps:    c.FlightDumps,
 			Misses:         summarize(&c.Misses),
 			Completed:      summarize(&c.Completed),
 			LossRate:       summarize(&c.LossRate),

@@ -184,6 +184,16 @@ type env struct {
 	// rather than a single kernel's stats.
 	fl *fleet.Report
 
+	// Cluster-construction overrides, used only by RunFleetCluster
+	// (the rdsweep -cluster-manifest path): fleetWorkers replaces the
+	// sweep's Workers=1 default, fleetSpanLog turns on full per-node
+	// span logging, keepFleet retains the built cluster in flc so the
+	// caller can extract manifests after the run.
+	fleetWorkers int
+	fleetSpanLog bool
+	keepFleet    bool
+	flc          *fleet.Cluster
+
 	// chk, when armed via withInvariants, rides the observer chain and
 	// audits the paper's guarantees during the run; runOne finalizes it
 	// and folds its violation count into the metrics.

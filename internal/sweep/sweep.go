@@ -74,6 +74,11 @@ type RunMetrics struct {
 	NodeRestarts int64
 	RecoveryMS   metrics.Summary
 
+	// FlightDumps counts black-box flight-recorder dumps the fleet
+	// produced (node crashes, stalls, invariant breaches, failed
+	// conservation audits). Zero on healthy runs.
+	FlightDumps int64
+
 	// CompletedPeriods counts periods whose work finished on time —
 	// the comparator family's headline figure alongside Misses (RD
 	// scenarios leave it 0; their quality channel is Loss).

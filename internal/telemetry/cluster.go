@@ -1,0 +1,150 @@
+package telemetry
+
+import "fmt"
+
+// StitchCluster merges a fleet coordinator manifest and its per-node
+// manifests (in node-index order) into one rdtel/v2 cluster manifest:
+//
+//   - Spans are concatenated coordinator-first, then node 0..N-1, with
+//     IDs rebased into one global sequence and every span stamped with
+//     its origin tag (CoordTag / NodeTag(i)).
+//   - Parent references rebase within their own log.
+//   - Cross-log causal links — (LinkNode, Link) pairs recorded at
+//     placement, spillover, migration, and crash re-admission — are
+//     resolved to global span IDs with LinkNode cleared, so a
+//     guarantee's lifecycle reads as one linked chain across nodes.
+//     A link whose target was evicted from a ring-mode log is dropped,
+//     deterministically, rather than left dangling.
+//   - Metrics snapshots merge coordinator-first then node order
+//     (name-sorted linear merges, worker-count invariant).
+//   - Events, tasks, and flight dumps concatenate in the same fixed
+//     order, tasks tagged with their node.
+//
+// The merge is a pure function of its inputs, so stitching the files
+// rdsweep wrote is byte-identical to the manifest the live cluster
+// produced.
+func StitchCluster(coord *Manifest, nodes []*Manifest) (*Manifest, error) {
+	if coord == nil {
+		return nil, fmt.Errorf("telemetry: stitch: nil coordinator manifest")
+	}
+	if coord.Node != 0 && coord.Node != CoordTag {
+		return nil, fmt.Errorf("telemetry: stitch: coordinator manifest tagged %d, want %d", coord.Node, CoordTag)
+	}
+	for i, nm := range nodes {
+		if nm == nil {
+			return nil, fmt.Errorf("telemetry: stitch: nil manifest for node %d", i)
+		}
+		if nm.Node != 0 && nm.Node != NodeTag(i) {
+			return nil, fmt.Errorf("telemetry: stitch: manifest at position %d tagged %d, want %d", i, nm.Node, NodeTag(i))
+		}
+	}
+
+	out := NewManifest(coord.Seed)
+	out.Build = coord.Build
+	out.ConfigDigest = coord.ConfigDigest
+	out.HorizonTicks = coord.HorizonTicks
+	out.NodeCount = len(nodes)
+
+	// Per-log ID windows: window[k] = [lo, hi] resident IDs, base[k] =
+	// global IDs already assigned to earlier logs. Log 0 is the
+	// coordinator; log 1+i is node i.
+	logs := make([]*Manifest, 0, 1+len(nodes))
+	logs = append(logs, coord)
+	logs = append(logs, nodes...)
+	type window struct {
+		lo, hi SpanID
+		base   int64
+	}
+	wins := make([]window, len(logs))
+	var total int64
+	for k, lm := range logs {
+		w := window{base: total}
+		if n := len(lm.Spans); n > 0 {
+			w.lo, w.hi = lm.Spans[0].ID, lm.Spans[n-1].ID
+			total += int64(n)
+		}
+		wins[k] = w
+	}
+
+	// logOf maps a link tag to its log index, ok=false for tags
+	// outside this cluster.
+	logOf := func(tag int32) (int, bool) {
+		if tag == CoordTag {
+			return 0, true
+		}
+		if idx, ok := TagIndex(tag); ok && idx < len(nodes) {
+			return 1 + idx, true
+		}
+		return 0, false
+	}
+
+	rebase := func(k int, id SpanID) (SpanID, bool) {
+		w := wins[k]
+		if w.hi == 0 || id < w.lo || id > w.hi {
+			return 0, false
+		}
+		// Resident spans carry contiguous IDs, so the offset within
+		// the window is the offset within the global block.
+		return SpanID(w.base + int64(id-w.lo) + 1), true
+	}
+
+	out.Spans = make([]Span, 0, total)
+	for k, lm := range logs {
+		tag := CoordTag
+		if k > 0 {
+			tag = NodeTag(k - 1)
+		}
+		for i := range lm.Spans {
+			sp := lm.Spans[i]
+			gid, ok := rebase(k, sp.ID)
+			if !ok {
+				return nil, fmt.Errorf("telemetry: stitch: %s span id %d outside its own window", TagString(tag), sp.ID)
+			}
+			sp.ID = gid
+			sp.Node = tag
+			if sp.Parent != 0 {
+				if p, ok := rebase(k, sp.Parent); ok {
+					sp.Parent = p
+				} else {
+					sp.Parent = 0
+				}
+			}
+			if sp.Link != 0 {
+				src := k
+				if sp.LinkNode != 0 {
+					var ok bool
+					if src, ok = logOf(sp.LinkNode); !ok {
+						return nil, fmt.Errorf("telemetry: stitch: %s span %d links to unknown tag %d", TagString(tag), sp.ID, sp.LinkNode)
+					}
+				}
+				if l, ok := rebase(src, sp.Link); ok {
+					sp.Link = l
+				} else {
+					sp.Link = 0 // target evicted from its ring
+				}
+				sp.LinkNode = 0
+			}
+			out.Spans = append(out.Spans, sp)
+		}
+	}
+
+	for k, lm := range logs {
+		tag := CoordTag
+		if k > 0 {
+			tag = NodeTag(k - 1)
+		}
+		out.Metrics.Merge(lm.Metrics)
+		for _, e := range lm.Events {
+			out.Events = append(out.Events, e)
+		}
+		for _, ti := range lm.Tasks {
+			if ti.Node == 0 {
+				ti.Node = tag
+			}
+			out.Tasks = append(out.Tasks, ti)
+		}
+		out.FlightDumps = append(out.FlightDumps, lm.FlightDumps...)
+	}
+	out.DeriveTotals()
+	return out, nil
+}

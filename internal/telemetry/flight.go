@@ -1,0 +1,162 @@
+package telemetry
+
+import "repro/internal/ticks"
+
+// Flight is a node's black-box flight recorder: a fixed-capacity,
+// generation-checked ring of the most recent spans plus a ring of the
+// most recent event-log lines. It is always on and allocation-free in
+// the steady state — recording overwrites slots in place — and is only
+// read when something goes wrong: the fleet dumps it into a
+// post-mortem FlightDump when the invariant checker fires, the
+// crash-conservation ledger breaks, or the node itself crashes.
+//
+// The span store is a ring-mode Spans log (slot for ID k is (k-1) mod
+// cap), so End/SetLink on spans the ring has recycled fail the slot's
+// ID-equality check and are inert — the same generation idiom as the
+// PR 4 event pool. A Flight either IS a node's span log (flight-only
+// retention, the fleet default) or mirrors an unbounded log via
+// Spans.TeeFlight (full retention for cluster-manifest runs).
+type Flight struct {
+	spans  *Spans
+	events []LogEvent
+	eseq   int64 // events ever recorded; next slot is eseq % cap(events)
+	ecap   int
+}
+
+// DefaultFlightSpans and DefaultFlightEvents size a Flight when the
+// caller does not: enough span history to cover several epochs of a
+// busy node, and the tail of its fault/event log.
+const (
+	DefaultFlightSpans  = 256
+	DefaultFlightEvents = 64
+)
+
+// NewFlight returns a flight recorder with the given ring capacities;
+// non-positive values select the defaults. All storage is allocated
+// up front so recording never does.
+func NewFlight(spanCap, eventCap int) *Flight {
+	if spanCap <= 0 {
+		spanCap = DefaultFlightSpans
+	}
+	if eventCap <= 0 {
+		eventCap = DefaultFlightEvents
+	}
+	return &Flight{
+		spans:  NewSpansRing(spanCap),
+		events: make([]LogEvent, 0, eventCap),
+		ecap:   eventCap,
+	}
+}
+
+// Ring exposes the flight recorder's span ring so it can serve as a
+// node's Spans log directly (flight-only retention). Nil-safe.
+func (f *Flight) Ring() *Spans {
+	if f == nil {
+		return nil
+	}
+	return f.spans
+}
+
+// putSpan mirrors a span recorded by a teed unbounded log, preserving
+// its ID (IDs arrive sequentially, so ring placement is identical to
+// native recording).
+func (f *Flight) putSpan(sp Span) {
+	if f != nil {
+		f.spans.put(sp)
+	}
+}
+
+// endSpan mirrors an End from a teed log; evicted IDs are inert.
+func (f *Flight) endSpan(id SpanID, at ticks.Ticks) {
+	if f == nil {
+		return
+	}
+	if sp := f.spans.slot(id); sp != nil {
+		sp.End = at
+	}
+}
+
+// linkSpan mirrors a SetLink from a teed log; evicted IDs are inert.
+func (f *Flight) linkSpan(id SpanID, linkNode int32, target SpanID) {
+	if f == nil {
+		return
+	}
+	if sp := f.spans.slot(id); sp != nil {
+		sp.Link = target
+		sp.LinkNode = linkNode
+	}
+}
+
+// Event records one event-log line into the event ring. The signature
+// matches metrics.EventLog's Tee hook so a node's log mirrors into its
+// black box without the metrics package importing this one.
+func (f *Flight) Event(at ticks.Ticks, kind, detail string) {
+	if f == nil {
+		return
+	}
+	e := LogEvent{At: at, Kind: kind, Detail: detail}
+	if len(f.events) < f.ecap {
+		f.events = append(f.events, e)
+	} else {
+		f.events[int(f.eseq%int64(f.ecap))] = e
+	}
+	f.eseq++
+}
+
+// SpanTotal reports the spans ever recorded (resident or evicted).
+func (f *Flight) SpanTotal() int64 { return f.Ring().Total() }
+
+// EventTotal reports the event lines ever recorded.
+func (f *Flight) EventTotal() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.eseq
+}
+
+// FlightDump is one post-mortem black-box artifact: the flight
+// recorder's resident spans (a contiguous ID range ending at
+// SpansTotal) and event tail at the moment a breach fired. Cluster
+// manifests carry one per dump under Manifest.FlightDumps.
+type FlightDump struct {
+	Node          int32       `json:"node,omitempty"` // CoordTag or NodeTag(i)
+	Reason        string      `json:"reason"`         // "node-crash", "invariant", "fleet-conservation", "stall"
+	At            ticks.Ticks `json:"at"`
+	SpansTotal    int64       `json:"spans_total"`
+	SpansDropped  int64       `json:"spans_dropped"`
+	EventsTotal   int64       `json:"events_total"`
+	EventsDropped int64       `json:"events_dropped"`
+	Spans         []Span      `json:"spans,omitempty"`
+	Events        []LogEvent  `json:"events,omitempty"`
+}
+
+// Dump snapshots the flight recorder into a post-mortem artifact. The
+// recorder keeps running afterwards; dumping never clears it.
+func (f *Flight) Dump(node int32, reason string, at ticks.Ticks) FlightDump {
+	d := FlightDump{Node: node, Reason: reason, At: at}
+	if f == nil {
+		return d
+	}
+	d.Spans = f.spans.Export()
+	for i := range d.Spans {
+		// Stamp the origin tag so a dump validates stand-alone and
+		// inside a node-tagged cluster manifest alike.
+		d.Spans[i].Node = node
+	}
+	d.SpansTotal = f.spans.Total()
+	d.SpansDropped = d.SpansTotal - int64(len(d.Spans))
+	d.EventsTotal = f.eseq
+	d.EventsDropped = f.eseq - int64(len(f.events))
+	if len(f.events) > 0 {
+		d.Events = make([]LogEvent, 0, len(f.events))
+		// Oldest first: the ring's write cursor is eseq mod cap.
+		start := 0
+		if f.eseq > int64(len(f.events)) {
+			start = int(f.eseq % int64(f.ecap))
+		}
+		for i := 0; i < len(f.events); i++ {
+			d.Events = append(d.Events, f.events[(start+i)%len(f.events)])
+		}
+	}
+	return d
+}

@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/ticks"
+)
+
+// --- ring span log ---
+
+func TestSpansRingEvictsOldest(t *testing.T) {
+	s := NewSpansRing(4)
+	for i := 0; i < 10; i++ {
+		s.Instant(ticksOf(i), "cat", "sp", NoTask, 0, "")
+	}
+	if s.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", s.Total())
+	}
+	if s.N() != 4 {
+		t.Fatalf("N = %d, want ring capacity 4", s.N())
+	}
+	out := s.Export()
+	// Residents are the newest four, IDs contiguous and ascending.
+	want := SpanID(7)
+	for _, sp := range out {
+		if sp.ID != want {
+			t.Fatalf("resident IDs = %v, want 7..10 ascending", ids(out))
+		}
+		want++
+	}
+}
+
+func TestSpansRingGenerationCheck(t *testing.T) {
+	s := NewSpansRing(2)
+	old := s.Begin(1, "cat", "old", NoTask, 0)
+	s.Instant(2, "cat", "b", NoTask, 0, "")
+	s.Instant(3, "cat", "c", NoTask, 0, "") // evicts `old`
+
+	// End and SetLink on the evicted ID must be inert: the slot now
+	// holds a different span and may not be corrupted.
+	s.End(old, 99)
+	s.SetLink(old, CoordTag, 2)
+	for _, sp := range s.Export() {
+		if sp.ID == old {
+			t.Fatal("evicted span still resident")
+		}
+		if sp.End == 99 || sp.Link != 0 {
+			t.Fatalf("operation on evicted ID mutated successor: %+v", sp)
+		}
+	}
+
+	// A resident ID still works through the same slot arithmetic.
+	live := s.Begin(4, "cat", "live", NoTask, 0)
+	s.End(live, 50)
+	out := s.Export()
+	if got := out[len(out)-1]; got.ID != live || got.End != 50 {
+		t.Fatalf("resident End lost: %+v", got)
+	}
+}
+
+func TestSpansRingExportClearsDanglingRefs(t *testing.T) {
+	s := NewSpansRing(2)
+	parent := s.Begin(1, "cat", "parent", NoTask, 0)
+	s.Instant(2, "cat", "x", NoTask, 0, "")
+	child := s.Instant(3, "cat", "child", NoTask, parent, "") // parent evicted here
+	s.SetLink(child, 0, parent)                          // same-log link to an evicted span: dropped at SetLink or Export
+	out := s.Export()
+	for _, sp := range out {
+		if sp.Parent != 0 && (sp.Parent < out[0].ID) {
+			t.Fatalf("exported span points at evicted parent: %+v", sp)
+		}
+		if sp.Link != 0 && sp.LinkNode == 0 && sp.Link < out[0].ID {
+			t.Fatalf("exported span points at evicted link target: %+v", sp)
+		}
+	}
+}
+
+func TestFindLast(t *testing.T) {
+	s := NewSpans()
+	s.Instant(1, "admission", "a", NoTask, 0, "")
+	want := s.Instant(2, "admission", "b", NoTask, 0, "")
+	s.Instant(3, "other", "c", NoTask, 0, "")
+	if got := s.FindLast("admission"); got != want {
+		t.Fatalf("FindLast = %d, want %d", got, want)
+	}
+	if got := s.FindLast("missing"); got != 0 {
+		t.Fatalf("FindLast(missing) = %d, want 0", got)
+	}
+}
+
+// --- flight recorder ---
+
+func TestFlightTeeFromUnboundedLog(t *testing.T) {
+	f := NewFlight(4, 4)
+	s := NewSpans()
+	s.TeeFlight(f)
+	var last SpanID
+	for i := 0; i < 6; i++ {
+		last = s.Instant(ticksOf(i), "cat", "sp", NoTask, 0, "")
+	}
+	s.SetLink(last, CoordTag, 1)
+	if s.N() != 6 {
+		t.Fatalf("full log N = %d, want 6", s.N())
+	}
+	d := f.Dump(NodeTag(0), "test", 100)
+	if d.SpansTotal != 6 || d.SpansDropped != 2 || len(d.Spans) != 4 {
+		t.Fatalf("dump accounting: total=%d dropped=%d len=%d", d.SpansTotal, d.SpansDropped, len(d.Spans))
+	}
+	// IDs in the tee mirror the source log's, so the link set after the
+	// tee still lands on the right resident span.
+	got := d.Spans[len(d.Spans)-1]
+	if got.ID != last || got.Link != 1 || got.LinkNode != CoordTag {
+		t.Fatalf("teed link lost: %+v", got)
+	}
+}
+
+func TestFlightDumpStampsNodeAndOrdersEvents(t *testing.T) {
+	f := NewFlight(4, 3)
+	r := f.Ring()
+	r.Instant(1, "cat", "sp", NoTask, 0, "")
+	for i := 0; i < 5; i++ { // wraps the 3-slot event ring
+		f.Event(ticksOf(10+i), "kind", "detail")
+	}
+	d := f.Dump(NodeTag(2), "test", 99)
+	if d.Node != NodeTag(2) || d.Reason != "test" || d.At != 99 {
+		t.Fatalf("dump header: %+v", d)
+	}
+	for _, sp := range d.Spans {
+		if sp.Node != NodeTag(2) {
+			t.Fatalf("dump span not node-stamped: %+v", sp)
+		}
+	}
+	if d.EventsTotal != 5 || d.EventsDropped != 2 || len(d.Events) != 3 {
+		t.Fatalf("event accounting: total=%d dropped=%d len=%d", d.EventsTotal, d.EventsDropped, len(d.Events))
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].At < d.Events[i-1].At {
+			t.Fatalf("dump events out of order: %+v", d.Events)
+		}
+	}
+
+	// Dumping never clears: a second dump sees the same state.
+	again := f.Dump(NodeTag(2), "test", 99)
+	if len(again.Spans) != len(d.Spans) || len(again.Events) != len(d.Events) {
+		t.Fatal("Dump must not drain the recorder")
+	}
+}
+
+func TestFlightDumpValidatesInManifest(t *testing.T) {
+	f := NewFlight(4, 4)
+	r := f.Ring()
+	for i := 0; i < 6; i++ {
+		r.Instant(ticksOf(i), "cat", "sp", NoTask, 0, "")
+	}
+	f.Event(50, "kind", "detail")
+	m := NewManifest(1)
+	m.NodeCount = 2
+	m.FlightDumps = []FlightDump{f.Dump(NodeTag(1), "node-crash", 60)}
+	m.DeriveTotals()
+	if m.Totals.FlightDumps != 1 {
+		t.Fatalf("Totals.FlightDumps = %d, want 1", m.Totals.FlightDumps)
+	}
+	if err := ValidateManifest(m); err != nil {
+		t.Fatalf("valid dump rejected: %v", err)
+	}
+
+	// Corrupt the drop accounting and the validator must notice.
+	m.FlightDumps[0].SpansDropped++
+	if err := ValidateManifest(m); err == nil {
+		t.Fatal("unbalanced dump accounting must be rejected")
+	}
+}
+
+func ticksOf(i int) ticks.Ticks { return ticks.Ticks(i + 1) }
+
+func ids(spans []Span) []SpanID {
+	out := make([]SpanID, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.ID
+	}
+	return out
+}
+
+// BenchmarkFlightRecord measures the always-on black-box hot path: a
+// span opened and closed in the flight ring plus one event record.
+// This is what every node pays per dispatch with telemetry off, so it
+// must stay at 0 allocs/op (gated via BENCH_kernel.json).
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlight(DefaultFlightSpans, DefaultFlightEvents)
+	r := f.Ring()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := r.Begin(ticks.Ticks(i), "dispatch", "worker", 1, 0)
+		r.End(id, ticks.Ticks(i+1))
+		f.Event(ticks.Ticks(i), "sched.dispatch", "granted")
+	}
+}
+
+// The same contract as a plain test, so `go test` catches an
+// allocation regression even without the benchmark gate.
+func TestFlightRecordAllocFree(t *testing.T) {
+	f := NewFlight(DefaultFlightSpans, DefaultFlightEvents)
+	r := f.Ring()
+	var i int
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := r.Begin(ticks.Ticks(i), "dispatch", "worker", 1, 0)
+		r.End(id, ticks.Ticks(i+1))
+		f.Event(ticks.Ticks(i), "sched.dispatch", "granted")
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("flight record path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// --- tag helpers ---
+
+func TestNodeTags(t *testing.T) {
+	if NodeTag(0) != 1 || NodeTag(3) != 4 {
+		t.Fatal("NodeTag must be index+1")
+	}
+	if i, ok := TagIndex(NodeTag(5)); !ok || i != 5 {
+		t.Fatal("TagIndex must invert NodeTag")
+	}
+	if _, ok := TagIndex(CoordTag); ok {
+		t.Fatal("CoordTag is not a node index")
+	}
+	if _, ok := TagIndex(0); ok {
+		t.Fatal("0 is the unset tag, not a node index")
+	}
+	for tag, want := range map[int32]string{CoordTag: "coord", 0: "-", 1: "node 0", 7: "node 6"} {
+		if got := TagString(tag); got != want {
+			t.Errorf("TagString(%d) = %q, want %q", tag, got, want)
+		}
+	}
+}

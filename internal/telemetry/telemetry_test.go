@@ -393,6 +393,14 @@ func TestValidatePerfettoRejectsMalformed(t *testing.T) {
 		"negativeTime": `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1}]}`,
 		"endNoBegin":   `{"traceEvents":[{"name":"x","cat":"period","ph":"e","ts":0,"pid":1,"tid":1,"id":1}]}`,
 		"beginNoEnd":   `{"traceEvents":[{"name":"x","cat":"period","ph":"b","ts":0,"pid":1,"tid":1,"id":1}]}`,
+		"noTraceKey":   `{"displayTimeUnit":"ms"}`,
+		"notJSON":      `]`,
+		"finishNoStart": `{"traceEvents":[` +
+			`{"name":"causal","cat":"fleet-link","ph":"f","bp":"e","ts":0,"pid":1,"tid":1,"id":9}]}`,
+		"stepNoStart": `{"traceEvents":[` +
+			`{"name":"causal","cat":"fleet-link","ph":"t","ts":0,"pid":1,"tid":1,"id":9}]}`,
+		"startNoFinish": `{"traceEvents":[` +
+			`{"name":"causal","cat":"fleet-link","ph":"s","ts":0,"pid":1,"tid":1,"id":9}]}`,
 	}
 	for name, doc := range cases {
 		if err := ValidatePerfetto(strings.NewReader(doc)); err == nil {
